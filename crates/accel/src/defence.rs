@@ -1,0 +1,134 @@
+//! Volume-channel defences (paper §9.2).
+//!
+//! The paper sketches two countermeasure families and argues both are
+//! non-trivial; this module implements device-side versions of each so the
+//! defence ablation can measure what they buy and what they cost:
+//!
+//! * [`Defence::PadEdges`] — "blocking the source": activations in the
+//!   boundary band of every output map are transferred *uncompressed*, so
+//!   edge-truncation can never change the transfer volume (an `ABCC`
+//!   pattern reads as `AAAA`). Deterministic, but pays bandwidth on every
+//!   inference and must widen with the attacker's probe reach.
+//! * [`Defence::RandomZeros`] — "obfuscating the detection": the encoder
+//!   randomly keeps up to `max_bytes` of zeros uncompressed per tensor,
+//!   adding per-run noise to every volume. Breaks the one-sided-error
+//!   property the prober relies on, but the paper notes repeated trials
+//!   could average it out.
+
+use std::cell::Cell;
+
+/// Device-side volume-channel countermeasure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Defence {
+    /// No countermeasure (the paper's threat model).
+    #[default]
+    None,
+    /// Transfer the outer `band` cells of every output map uncompressed.
+    PadEdges {
+        /// Width of the protected boundary band in cells.
+        band: usize,
+    },
+    /// Keep a per-run random number of zeros (up to `max_bytes`)
+    /// uncompressed in every output tensor.
+    RandomZeros {
+        /// Maximum padding bytes per tensor per run.
+        max_bytes: u64,
+        /// Seed for the device's internal noise generator.
+        seed: u64,
+    },
+}
+
+
+/// Stateful noise source for [`Defence::RandomZeros`] (xorshift; the
+/// device only needs unpredictability from the attacker's viewpoint).
+#[derive(Clone, Debug)]
+pub struct NoiseState {
+    state: Cell<u64>,
+}
+
+impl NoiseState {
+    /// Creates the generator.
+    pub fn new(seed: u64) -> Self {
+        NoiseState {
+            state: Cell::new(seed | 1),
+        }
+    }
+
+    /// Next padding amount in `0..=max`.
+    pub fn next_padding(&self, max: u64) -> u64 {
+        let mut x = self.state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.set(x);
+        if max == 0 {
+            0
+        } else {
+            x % (max + 1)
+        }
+    }
+}
+
+/// Extra transfer bytes the defence adds for one output tensor.
+///
+/// `edge_zero_cells` is the number of zero-valued cells inside the
+/// protected boundary band (they would have been elided), and `elem_bits`
+/// the activation width.
+pub fn defence_padding_bytes(
+    defence: &Defence,
+    noise: &NoiseState,
+    edge_zero_cells: usize,
+    elem_bits: u32,
+) -> u64 {
+    match defence {
+        Defence::None => 0,
+        Defence::PadEdges { .. } => (edge_zero_cells as u64 * elem_bits as u64).div_ceil(8),
+        Defence::RandomZeros { max_bytes, .. } => noise.next_padding(*max_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_free() {
+        let noise = NoiseState::new(1);
+        assert_eq!(defence_padding_bytes(&Defence::None, &noise, 100, 8), 0);
+    }
+
+    #[test]
+    fn pad_edges_is_deterministic_in_zero_count() {
+        let noise = NoiseState::new(1);
+        let d = Defence::PadEdges { band: 1 };
+        assert_eq!(defence_padding_bytes(&d, &noise, 10, 8), 10);
+        assert_eq!(defence_padding_bytes(&d, &noise, 10, 8), 10);
+        assert_eq!(defence_padding_bytes(&d, &noise, 0, 8), 0);
+    }
+
+    #[test]
+    fn random_zeros_vary_and_respect_bound() {
+        let noise = NoiseState::new(42);
+        let d = Defence::RandomZeros {
+            max_bytes: 64,
+            seed: 42,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let p = defence_padding_bytes(&d, &noise, 5, 8);
+            assert!(p <= 64);
+            seen.insert(p);
+        }
+        assert!(seen.len() > 4, "noise should vary: {seen:?}");
+    }
+
+    #[test]
+    fn noise_deterministic_in_seed() {
+        let a = NoiseState::new(7);
+        let b = NoiseState::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_padding(100), b.next_padding(100));
+        }
+    }
+}

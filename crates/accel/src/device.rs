@@ -1,0 +1,603 @@
+//! The simulated victim device: an accelerator SoC plus external DRAM.
+//!
+//! [`Device`] seals a network and its weights behind the same information
+//! boundary the paper's threat model gives the attacker: the only public
+//! output of [`Device::run`] is the DRAM bus [`Trace`] (times, addresses,
+//! directions, burst sizes — never data values). Ground-truth accessors are
+//! segregated under [`Device::oracle`] and must only be used by evaluation
+//! harnesses, never by attack code.
+
+use crate::config::AccelConfig;
+use crate::defence::{defence_padding_bytes, Defence, NoiseState};
+use crate::encoder::{encode_timing, EncodeTiming};
+use crate::trace_event::{AccessKind, Trace, TraceEvent};
+use hd_dnn::graph::{Network, NodeId, Op, Params, Value};
+use hd_tensor::Tensor3;
+
+/// Gap between allocated DRAM regions so tensors never abut.
+const REGION_GAP: u64 = 0x1_0000;
+/// Base address of the (static) weight arena.
+const WEIGHT_BASE: u64 = 0x1000_0000;
+/// Base address of the (per-run) activation arena.
+const ACT_BASE: u64 = 0x8000_0000;
+/// Idle gap inserted between layer phases, in picoseconds.
+const PHASE_GAP_PS: u64 = 100_000; // 100 ns
+
+/// The victim device.
+#[derive(Clone, Debug)]
+pub struct Device {
+    net: Network,
+    params: Params,
+    cfg: AccelConfig,
+    weight_regions: Vec<Option<(u64, u64)>>, // (addr, bytes) per node
+    noise: NoiseState,
+}
+
+/// Ground-truth view handed out by [`Device::oracle`] for evaluation only.
+#[derive(Clone, Copy, Debug)]
+pub struct Oracle<'a> {
+    /// The victim network (architecture the attacker tries to steal).
+    pub net: &'a Network,
+    /// The victim parameters.
+    pub params: &'a Params,
+}
+
+impl Device {
+    /// Seals `net`/`params` inside a device with the given configuration.
+    pub fn new(net: Network, params: Params, cfg: AccelConfig) -> Self {
+        // Statically place weights: one region per weighted node.
+        let mut weight_regions = vec![None; net.len()];
+        let mut cursor = WEIGHT_BASE;
+        for id in net.weighted_nodes() {
+            let bytes = weight_transfer_bytes(&net, &params, &cfg, id);
+            weight_regions[id] = Some((cursor, bytes));
+            cursor += bytes + REGION_GAP;
+            cursor = align(cursor);
+        }
+        let noise_seed = match cfg.defence {
+            Defence::RandomZeros { seed, .. } => seed,
+            _ => 0,
+        };
+        Device {
+            net,
+            params,
+            cfg,
+            weight_regions,
+            noise: NoiseState::new(noise_seed),
+        }
+    }
+
+    /// The accelerator configuration (public on a real device's datasheet).
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// The input shape the device accepts (the attacker knows this — they
+    /// control the camera).
+    pub fn input_shape(&self) -> hd_tensor::Shape3 {
+        self.net.input_shape()
+    }
+
+    /// Ground truth for evaluation harnesses.
+    ///
+    /// Attack code must never call this; see the crate-level docs.
+    pub fn oracle(&self) -> Oracle<'_> {
+        Oracle {
+            net: &self.net,
+            params: &self.params,
+        }
+    }
+
+    /// Executes one inference and returns the DRAM bus trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match [`Device::input_shape`].
+    pub fn run(&self, image: &Tensor3) -> Trace {
+        let trace = self.net.forward(&self.params, image);
+        let mut out = Trace::default();
+        let mut t: u64 = 0;
+        let dram_bw = self.cfg.dram.bandwidth_bytes_per_sec();
+
+        // Activation regions are (re)allocated per run. With
+        // `reuse_activations`, freed buffers are recycled once their last
+        // consumer has run — each write then re-versions its addresses
+        // (paper footnote 4).
+        let mut act_regions: Vec<Option<(u64, u64)>> = vec![None; self.net.len()];
+        let mut allocator = ActAllocator::new(self.cfg.reuse_activations);
+        // Remaining-consumer counts per node output (for buffer recycling).
+        let mut remaining_uses: Vec<usize> = vec![0; self.net.len()];
+        for node in self.net.nodes() {
+            for &src in &node.inputs {
+                remaining_uses[src] += 1;
+            }
+        }
+
+        // Host DMA: the (compressed) input image lands in DRAM first.
+        let input_bytes = self
+            .cfg
+            .act_scheme
+            .encoded_size(image.data(), self.cfg.act_bits)
+            .bytes;
+        let input_region = allocator.alloc(input_bytes);
+        act_regions[0] = Some(input_region);
+        t = self.emit_stream(
+            &mut out,
+            t,
+            input_region.0,
+            input_bytes,
+            AccessKind::Write,
+            bytes_duration_ps(input_bytes, dram_bw),
+            0,
+        );
+        t += PHASE_GAP_PS;
+
+        for (id, node) in self.net.nodes().iter().enumerate() {
+            if matches!(node.op, Op::Input) {
+                continue;
+            }
+            // Flatten is a pure aliasing reshape: no traffic, no new tensor.
+            if matches!(node.op, Op::Flatten) {
+                act_regions[id] = act_regions[node.inputs[0]];
+                // The alias keeps the buffer alive for its own consumers.
+                remaining_uses[node.inputs[0]] += remaining_uses[id];
+                continue;
+            }
+
+            // 1) Weight fetch.
+            if let Some((addr, bytes)) = self.weight_regions[id] {
+                t = self.emit_stream(
+                    &mut out,
+                    t,
+                    addr,
+                    bytes,
+                    AccessKind::Read,
+                    bytes_duration_ps(bytes, dram_bw),
+                    0,
+                );
+            }
+            // 2) Input activation fetch. Layers whose weights exceed the
+            //    on-chip buffer run in multiple passes and re-read their
+            //    inputs once per pass (tiled execution; the attacker's
+            //    footprint analysis merges the repeated address ranges).
+            let passes = self.weight_regions[id]
+                .map(|(_, wb)| wb.div_ceil(self.cfg.weight_glb_bytes.max(1)).max(1))
+                .unwrap_or(1);
+            for _ in 0..passes {
+                for &src in &node.inputs {
+                    let (addr, bytes) = act_regions[src].expect("producer ran earlier");
+                    t = self.emit_stream(
+                        &mut out,
+                        t,
+                        addr,
+                        bytes,
+                        AccessKind::Read,
+                        bytes_duration_ps(bytes, dram_bw),
+                        0,
+                    );
+                }
+            }
+
+            // 3) Compute phase (no bus traffic; psums accumulate on-chip).
+            t += self.compute_duration_ps(id);
+
+            // 3b) Separate batch-norm execution: write the dense pre-BN
+            //     psums to DRAM, then read them back for the BN pass. The
+            //     attacker sees an uncompressed tensor whose size equals
+            //     P*Q*K exactly (paper §2, "Broader application").
+            if self.cfg.separate_batch_norm {
+                if let Some(pre_bn) = &trace.traces[id].pre_bn {
+                    let dense_bytes =
+                        (pre_bn.data().len() as u64 * self.cfg.act_bits as u64).div_ceil(8);
+                    let psum_region = allocator.alloc(dense_bytes);
+                    t = self.emit_stream(
+                        &mut out,
+                        t,
+                        psum_region.0,
+                        dense_bytes,
+                        AccessKind::Write,
+                        bytes_duration_ps(dense_bytes, dram_bw),
+                        0,
+                    );
+                    t += PHASE_GAP_PS;
+                    t = self.emit_stream(
+                        &mut out,
+                        t,
+                        psum_region.0,
+                        dense_bytes,
+                        AccessKind::Read,
+                        bytes_duration_ps(dense_bytes, dram_bw),
+                        0,
+                    );
+                }
+            }
+
+            // 4) Encode + writeback phase: the timing side channel.
+            let out_value = &trace.traces[id].out;
+            let out_bytes = self.value_transfer_bytes(out_value);
+            let psum_elems = out_value.flat().len() as u64;
+            let timing = encode_timing(&self.cfg, psum_elems, out_bytes);
+            let region = allocator.alloc(out_bytes);
+            act_regions[id] = Some(region);
+            t = self.emit_encode_writes(&mut out, t, region.0, out_bytes, &timing);
+            t += PHASE_GAP_PS;
+
+            // Release input buffers whose last consumer just ran.
+            for &src in &node.inputs {
+                remaining_uses[src] = remaining_uses[src].saturating_sub(1);
+                if remaining_uses[src] == 0 {
+                    if let Some(region) = act_regions[src] {
+                        allocator.release(region);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-layer encode timings for an input, keyed by node id. This is a
+    /// modelling convenience for experiments; the attacker derives the same
+    /// information from the trace write timestamps.
+    pub fn encode_timings(&self, image: &Tensor3) -> Vec<(NodeId, EncodeTiming)> {
+        let trace = self.net.forward(&self.params, image);
+        let mut v = Vec::new();
+        for (id, node) in self.net.nodes().iter().enumerate() {
+            if matches!(node.op, Op::Input | Op::Flatten) {
+                continue;
+            }
+            let out_value = &trace.traces[id].out;
+            let out_bytes = self.value_transfer_bytes(out_value);
+            let psum_elems = out_value.flat().len() as u64;
+            v.push((id, encode_timing(&self.cfg, psum_elems, out_bytes)));
+        }
+        v
+    }
+
+    /// First-order energy estimate for one inference (see [`crate::energy`]).
+    pub fn energy_estimate(
+        &self,
+        image: &Tensor3,
+        model: &crate::energy::EnergyModel,
+    ) -> crate::energy::EnergyReport {
+        let trace = self.run(image);
+        let mut macs = 0.0;
+        let mut psums = 0.0;
+        for (id, node) in self.net.nodes().iter().enumerate() {
+            if matches!(node.op, Op::Input | Op::Flatten) {
+                continue;
+            }
+            macs += effective_macs(&self.net, &self.params, id);
+            psums += self.net.value_shape(id).len() as f64;
+        }
+        crate::energy::estimate_energy(model, &self.cfg, &trace, macs, psums)
+    }
+
+    fn value_transfer_bytes(&self, v: &Value) -> u64 {
+        let base = self
+            .cfg
+            .act_scheme
+            .encoded_size(v.flat(), self.cfg.act_bits)
+            .bytes;
+        let edge_zero_cells = match (&self.cfg.defence, v) {
+            (Defence::PadEdges { band }, Value::Map(t)) => {
+                let (h, w) = (t.h(), t.w());
+                let mut zeros = 0usize;
+                for c in 0..t.c() {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let on_edge = y < *band
+                                || x < *band
+                                || y + *band >= h
+                                || x + *band >= w;
+                            if on_edge && t.at(c, y, x) == 0.0 {
+                                zeros += 1;
+                            }
+                        }
+                    }
+                }
+                zeros
+            }
+            _ => 0,
+        };
+        base + defence_padding_bytes(&self.cfg.defence, &self.noise, edge_zero_cells, self.cfg.act_bits)
+    }
+
+    fn compute_duration_ps(&self, id: NodeId) -> u64 {
+        let macs = effective_macs(&self.net, &self.params, id);
+        let cycles = macs / self.cfg.macs_per_cycle.max(1.0);
+        (cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_stream(
+        &self,
+        out: &mut Trace,
+        start_ps: u64,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        duration_ps: u64,
+        offset_ps: u64,
+    ) -> u64 {
+        if bytes == 0 {
+            return start_ps;
+        }
+        let burst = self.cfg.burst_bytes;
+        let n_bursts = bytes.div_ceil(burst);
+        let window = duration_ps.saturating_sub(offset_ps).max(1);
+        for i in 0..n_bursts {
+            let frac = if n_bursts == 1 {
+                0.0
+            } else {
+                i as f64 / (n_bursts - 1) as f64
+            };
+            let time_ps = start_ps + offset_ps + (frac * window as f64).round() as u64;
+            let this_bytes = burst.min(bytes - i * burst);
+            out.events.push(TraceEvent {
+                time_ps,
+                addr: addr + i * burst,
+                kind,
+                bytes: this_bytes,
+            });
+        }
+        start_ps + duration_ps.max(1)
+    }
+
+    fn emit_encode_writes(
+        &self,
+        out: &mut Trace,
+        start_ps: u64,
+        addr: u64,
+        bytes: u64,
+        timing: &EncodeTiming,
+    ) -> u64 {
+        self.emit_stream(
+            out,
+            start_ps,
+            addr,
+            bytes,
+            AccessKind::Write,
+            timing.duration_ps,
+            timing.first_write_offset_ps,
+        )
+    }
+}
+
+/// Per-run DRAM activation allocator: bump allocation by default,
+/// optional slot recycling when the device reuses buffers.
+struct ActAllocator {
+    cursor: u64,
+    reuse: bool,
+    free: Vec<(u64, u64)>, // (addr, capacity)
+    capacity_of: std::collections::HashMap<u64, u64>,
+}
+
+impl ActAllocator {
+    fn new(reuse: bool) -> Self {
+        ActAllocator {
+            cursor: ACT_BASE,
+            reuse,
+            free: Vec::new(),
+            capacity_of: std::collections::HashMap::new(),
+        }
+    }
+
+    fn alloc(&mut self, bytes: u64) -> (u64, u64) {
+        if self.reuse {
+            if let Some(pos) = self.free.iter().position(|&(_, cap)| cap >= bytes) {
+                let (addr, cap) = self.free.swap_remove(pos);
+                self.capacity_of.insert(addr, cap);
+                return (addr, bytes);
+            }
+        }
+        let addr = self.cursor;
+        let cap = bytes.max(4096) * 2;
+        self.cursor = align(self.cursor + cap + REGION_GAP);
+        self.capacity_of.insert(addr, cap);
+        (addr, bytes)
+    }
+
+    fn release(&mut self, region: (u64, u64)) {
+        if !self.reuse {
+            return;
+        }
+        if let Some(cap) = self.capacity_of.get(&region.0).copied() {
+            self.free.push((region.0, cap));
+        }
+    }
+}
+
+fn align(addr: u64) -> u64 {
+    (addr + 0xFFF) & !0xFFF
+}
+
+fn bytes_duration_ps(bytes: u64, bw_bytes_per_sec: f64) -> u64 {
+    (bytes as f64 / bw_bytes_per_sec * 1e12).round() as u64
+}
+
+/// Compressed transfer size of a node's weights (plus its small dense
+/// bias/batch-norm sideband parameters).
+fn weight_transfer_bytes(net: &Network, params: &Params, cfg: &AccelConfig, id: NodeId) -> u64 {
+    match &net.nodes()[id].op {
+        Op::Conv(_) => {
+            let p = params.conv(id);
+            let mut bytes = cfg
+                .weight_scheme
+                .encoded_size(p.w.data(), cfg.weight_bits)
+                .bytes;
+            if let Some(b) = p.b {
+                bytes += b.len() as u64 * 4;
+            }
+            if let Some(bn) = p.bn {
+                bytes += bn.channels() as u64 * 8;
+            }
+            bytes
+        }
+        Op::DwConv { .. } => {
+            let p = params.dwconv(id);
+            let mut bytes = cfg
+                .weight_scheme
+                .encoded_size(p.w.data(), cfg.weight_bits)
+                .bytes;
+            if let Some(bn) = p.bn {
+                bytes += bn.channels() as u64 * 8;
+            }
+            bytes
+        }
+        Op::Linear { .. } => {
+            let p = params.linear(id);
+            cfg.weight_scheme.encoded_size(p.w, cfg.weight_bits).bytes + p.b.len() as u64 * 4
+        }
+        _ => 0,
+    }
+}
+
+/// Effective (zero-skipped) MAC estimate for the compute-phase duration.
+fn effective_macs(net: &Network, params: &Params, id: NodeId) -> f64 {
+    match &net.nodes()[id].op {
+        Op::Conv(spec) => {
+            let out = net.value_shape(id).as_map().unwrap();
+            let p = params.conv(id);
+            let density = p.w.nnz() as f64 / p.w.len().max(1) as f64;
+            (out.h * out.w) as f64 * p.w.len() as f64 / (spec.stride * spec.stride) as f64
+                * density
+        }
+        Op::DwConv { .. } => {
+            let out = net.value_shape(id).as_map().unwrap();
+            let p = params.dwconv(id);
+            let density = p.w.nnz() as f64 / p.w.len().max(1) as f64;
+            (out.h * out.w) as f64 * p.w.len() as f64 * density
+        }
+        Op::Linear { .. } => {
+            let p = params.linear(id);
+            hd_tensor::nnz(p.w) as f64
+        }
+        Op::Pool { .. } | Op::Add { .. } | Op::GlobalAvgPool => {
+            net.value_shape(id).len() as f64
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_dnn::graph::NetworkBuilder;
+
+    fn tiny_device() -> Device {
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.conv(x, 6, 3, 1);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 3);
+        let net = b.build();
+        let params = Params::init(&net, 42);
+        Device::new(net, params, AccelConfig::eyeriss_v2())
+    }
+
+    #[test]
+    fn run_produces_ordered_trace() {
+        let dev = tiny_device();
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let trace = dev.run(&img);
+        assert!(!trace.is_empty());
+        for w in trace.events.windows(2) {
+            assert!(w[0].time_ps <= w[1].time_ps, "events out of order");
+        }
+    }
+
+    #[test]
+    fn trace_has_reads_and_writes() {
+        let dev = tiny_device();
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let trace = dev.run(&img);
+        assert!(trace.total_bytes(AccessKind::Read) > 0);
+        assert!(trace.total_bytes(AccessKind::Write) > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dev = tiny_device();
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        assert_eq!(dev.run(&img), dev.run(&img));
+    }
+
+    #[test]
+    fn weight_reads_are_input_independent() {
+        let dev = tiny_device();
+        let a = dev.run(&Tensor3::full(2, 8, 8, 0.5));
+        let b = dev.run(&Tensor3::zeros(2, 8, 8));
+        // Weight-region reads (static arena below ACT_BASE) are identical
+        // regardless of input; activation traffic may differ.
+        let weight_reads = |t: &Trace| -> Vec<(u64, u64)> {
+            t.events
+                .iter()
+                .filter(|e| e.kind == AccessKind::Read && e.addr < ACT_BASE)
+                .map(|e| (e.addr, e.bytes))
+                .collect()
+        };
+        assert_eq!(weight_reads(&a), weight_reads(&b));
+        // The input image compresses differently: its host-DMA write volume
+        // is smaller for the all-zero image.
+        let first_write_bytes = |t: &Trace| -> u64 {
+            t.events
+                .iter()
+                .take_while(|e| e.kind == AccessKind::Write)
+                .map(|e| e.bytes)
+                .sum()
+        };
+        assert!(first_write_bytes(&b) < first_write_bytes(&a));
+    }
+
+    #[test]
+    fn weight_regions_disjoint_from_activation_regions() {
+        let dev = tiny_device();
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let trace = dev.run(&img);
+        for e in &trace.events {
+            if e.kind == AccessKind::Write {
+                assert!(e.addr >= ACT_BASE, "writes must target activations");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_timings_cover_all_compute_nodes() {
+        let dev = tiny_device();
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let timings = dev.encode_timings(&img);
+        // conv, pool, conv, gap, linear = 5 (input skipped, no flatten).
+        assert_eq!(timings.len(), 5);
+        for (_, t) in &timings {
+            assert!(t.duration_ps > 0);
+        }
+    }
+
+    #[test]
+    fn psum_window_tracks_dense_output_size() {
+        // Two convs with different K on the same spatial size: the encode
+        // windows must scale with K when GLB-bound.
+        let mk = |k: usize| {
+            let mut b = NetworkBuilder::new(1, 8, 8);
+            let x = b.input();
+            b.conv(x, k, 3, 1);
+            let net = b.build();
+            let params = Params::init(&net, 7);
+            Device::new(net, params, AccelConfig::eyeriss_v2())
+        };
+        let img = Tensor3::full(1, 8, 8, 0.3);
+        let t4 = mk(4).encode_timings(&img)[0].1;
+        let t8 = mk(8).encode_timings(&img)[0].1;
+        let ratio = t8.duration_ps as f64 / t4.duration_ps as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn wrong_image_shape_panics() {
+        let dev = tiny_device();
+        let _ = dev.run(&Tensor3::zeros(2, 4, 4));
+    }
+}

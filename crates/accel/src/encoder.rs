@@ -1,0 +1,165 @@
+//! On-the-fly psum encoding timing model (paper §7.1–7.2).
+//!
+//! After a layer's accumulation completes, the post-processing unit drains
+//! the *dense* psum tile from the GLB, clamps/quantizes/compresses it, and
+//! writes the *sparse* output feature map to DRAM. The drain is pipelined,
+//! so the total encode time is bounded by the slower of two sides:
+//!
+//! * **GLB side** — reading `psum_elems` accumulator words at the GLB row
+//!   bandwidth: time proportional to the dense psum footprint `P*Q*K`,
+//! * **DRAM side** — writing `compressed_bytes` at the DRAM write bandwidth:
+//!   time proportional to the sparse output footprint.
+//!
+//! When the process is GLB-bound (the common case, §8.2), the window between
+//! the first and last DRAM write reveals the dense psum size — the timing
+//! side channel HuffDuff uses to recover output channel counts.
+
+use crate::config::AccelConfig;
+
+/// Which side limits the encode pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EncodeBound {
+    /// GLB psum reads are the bottleneck (duration tracks dense psum size).
+    GlbBound,
+    /// DRAM writes are the bottleneck (duration tracks compressed size).
+    DramBound,
+}
+
+/// Timing of one layer's encode phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EncodeTiming {
+    /// Total drain duration in picoseconds.
+    pub duration_ps: u64,
+    /// Offset of the first DRAM write within the phase, in picoseconds
+    /// (the attacker cannot see GLB activity before it).
+    pub first_write_offset_ps: u64,
+    /// Limiting side.
+    pub bound: EncodeBound,
+    /// GLB-side time in picoseconds (dense psum drain).
+    pub glb_time_ps: u64,
+    /// DRAM-side time in picoseconds (compressed writeback).
+    pub dram_time_ps: u64,
+}
+
+impl EncodeTiming {
+    /// The window an attacker observes: last write minus first write.
+    pub fn observable_window_ps(&self) -> u64 {
+        self.duration_ps.saturating_sub(self.first_write_offset_ps)
+    }
+
+    /// The GLB-bandwidth multiplier at which this layer would flip to
+    /// DRAM-bound (>= 1.0 when currently GLB-bound).
+    pub fn flip_multiplier(&self) -> f64 {
+        if self.dram_time_ps == 0 {
+            f64::INFINITY
+        } else {
+            self.glb_time_ps as f64 / self.dram_time_ps as f64
+        }
+    }
+}
+
+/// Computes the encode timing for a layer with `psum_elems` dense psum
+/// elements compressed down to `compressed_bytes`.
+///
+/// # Panics
+///
+/// Panics if the configuration yields non-positive bandwidths.
+pub fn encode_timing(cfg: &AccelConfig, psum_elems: u64, compressed_bytes: u64) -> EncodeTiming {
+    let glb_bw = cfg.glb_bandwidth_bytes_per_sec();
+    let dram_bw = cfg.dram.bandwidth_bytes_per_sec();
+    assert!(glb_bw > 0.0 && dram_bw > 0.0, "bandwidths must be positive");
+
+    let psum_bytes = psum_elems as f64 * cfg.acc_bytes();
+    let glb_time = psum_bytes / glb_bw; // seconds
+    let dram_time = compressed_bytes as f64 / dram_bw;
+
+    let (duration, bound) = if glb_time >= dram_time {
+        (glb_time, EncodeBound::GlbBound)
+    } else {
+        (dram_time, EncodeBound::DramBound)
+    };
+
+    // The first compressed block must be assembled before the first write:
+    // one burst's worth of output at the pipeline's effective rate.
+    let first_block = (cfg.burst_bytes as f64).min(compressed_bytes as f64);
+    let first_offset = if compressed_bytes == 0 {
+        0.0
+    } else {
+        duration * first_block / compressed_bytes as f64
+    };
+
+    EncodeTiming {
+        duration_ps: (duration * 1e12).round() as u64,
+        first_write_offset_ps: (first_offset * 1e12).round() as u64,
+        bound,
+        glb_time_ps: (glb_time * 1e12).round() as u64,
+        dram_time_ps: (dram_time * 1e12).round() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DramConfig, DramKind};
+
+    #[test]
+    fn typical_layer_is_glb_bound() {
+        // Dense psums are ~5-6x larger than sparse outputs and accumulators
+        // are 2.5x wider than activations, so GLB wins at stock bandwidth.
+        let cfg = AccelConfig::eyeriss_v2();
+        let psum_elems = 64 * 16 * 16; // P*Q*K
+        let compressed = (psum_elems as f64 * 0.35) as u64; // 35% density, 8-bit
+        let t = encode_timing(&cfg, psum_elems as u64, compressed);
+        assert_eq!(t.bound, EncodeBound::GlbBound);
+        assert!(t.flip_multiplier() > 1.0);
+    }
+
+    #[test]
+    fn duration_scales_linearly_with_psum_when_glb_bound() {
+        let cfg = AccelConfig::eyeriss_v2();
+        let a = encode_timing(&cfg, 10_000, 1_000);
+        let b = encode_timing(&cfg, 20_000, 1_000);
+        let ratio = b.duration_ps as f64 / a.duration_ps as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn huge_output_with_weak_dram_is_dram_bound() {
+        let cfg = AccelConfig::eyeriss_v2()
+            .with_glb_scale(100.0)
+            .with_dram(DramConfig::new(DramKind::Lpddr3, 1));
+        let t = encode_timing(&cfg, 10_000, 9_000);
+        assert_eq!(t.bound, EncodeBound::DramBound);
+        assert!(t.flip_multiplier() < 1.0);
+    }
+
+    #[test]
+    fn observable_window_close_to_duration() {
+        let cfg = AccelConfig::eyeriss_v2();
+        let t = encode_timing(&cfg, 100_000, 30_000);
+        let win = t.observable_window_ps() as f64;
+        let dur = t.duration_ps as f64;
+        assert!(win / dur > 0.99, "window {win} vs duration {dur}");
+    }
+
+    #[test]
+    fn zero_output_has_zero_offset() {
+        let cfg = AccelConfig::eyeriss_v2();
+        let t = encode_timing(&cfg, 1_000, 0);
+        assert_eq!(t.first_write_offset_ps, 0);
+    }
+
+    #[test]
+    fn flip_multiplier_matches_scaled_config() {
+        // If flip multiplier is m, scaling GLB bandwidth by slightly more
+        // than m must make the layer DRAM-bound.
+        let cfg = AccelConfig::eyeriss_v2();
+        let t = encode_timing(&cfg, 50_000, 14_000);
+        let m = t.flip_multiplier();
+        assert_eq!(t.bound, EncodeBound::GlbBound);
+        let flipped = encode_timing(&cfg.clone().with_glb_scale(m * 1.01), 50_000, 14_000);
+        assert_eq!(flipped.bound, EncodeBound::DramBound);
+        let not_flipped = encode_timing(&cfg.with_glb_scale(m * 0.99), 50_000, 14_000);
+        assert_eq!(not_flipped.bound, EncodeBound::GlbBound);
+    }
+}

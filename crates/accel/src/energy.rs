@@ -1,0 +1,164 @@
+//! First-order energy model for one inference.
+//!
+//! The paper motivates sparse accelerators by the energy cost of moving
+//! data: a DRAM access costs orders of magnitude more than a MAC, which is
+//! why edge devices prune models and compress transfers (and why the
+//! resulting volume channel exists at all). This model quantifies the
+//! trade-off the defences face: every padded zero buys security with the
+//! exact currency the accelerator was built to save.
+//!
+//! Coefficients are 45 nm-class ballpark figures in the Eyeriss /
+//! Horowitz-ISSCC'14 tradition; relative magnitudes are what matter.
+
+use crate::config::AccelConfig;
+use crate::trace_event::{AccessKind, Trace};
+
+/// Per-operation energy coefficients in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// DRAM access energy per byte.
+    pub dram_pj_per_byte: f64,
+    /// Global-buffer access energy per byte.
+    pub glb_pj_per_byte: f64,
+    /// 8-bit MAC energy.
+    pub mac_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 160.0,
+            glb_pj_per_byte: 6.0,
+            mac_pj: 0.2,
+        }
+    }
+}
+
+/// Energy breakdown of one inference.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyReport {
+    /// DRAM transfer energy (pJ).
+    pub dram_pj: f64,
+    /// GLB psum-drain energy (pJ).
+    pub glb_pj: f64,
+    /// Compute (MAC) energy (pJ).
+    pub mac_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.glb_pj + self.mac_pj
+    }
+
+    /// Total energy in microjoules (handier at network scale).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+}
+
+/// Estimates inference energy from a bus trace plus the effective MAC and
+/// psum counts the device reports.
+pub fn estimate_energy(
+    model: &EnergyModel,
+    cfg: &AccelConfig,
+    trace: &Trace,
+    effective_macs: f64,
+    psum_elems: f64,
+) -> EnergyReport {
+    let dram_bytes =
+        (trace.total_bytes(AccessKind::Read) + trace.total_bytes(AccessKind::Write)) as f64;
+    let glb_bytes = psum_elems * cfg.acc_bytes();
+    EnergyReport {
+        dram_pj: dram_bytes * model.dram_pj_per_byte,
+        glb_pj: glb_bytes * model.glb_pj_per_byte,
+        mac_pj: effective_macs * model.mac_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use crate::device::Device;
+    use hd_dnn::graph::{NetworkBuilder, Params};
+    use hd_tensor::Tensor3;
+
+    fn devices() -> (Device, Device) {
+        // Weight-heavy layers so pruning visibly moves the DRAM bill.
+        let mut b = NetworkBuilder::new(16, 12, 12);
+        let x = b.input();
+        let x = b.conv(x, 32, 3, 1);
+        b.conv(x, 32, 3, 1);
+        let net = b.build();
+        let dense_params = Params::init(&net, 1);
+        let mut sparse_params = dense_params.clone();
+        let profile = hd_dnn::prune::SparsityProfile {
+            targets: net.weighted_nodes().iter().map(|&id| (id, 0.9)).collect(),
+        };
+        hd_dnn::prune::apply_sparsity_profile(&net, &mut sparse_params, &profile, 2);
+        (
+            Device::new(net.clone(), dense_params, AccelConfig::eyeriss_v2()),
+            Device::new(net, sparse_params, AccelConfig::eyeriss_v2()),
+        )
+    }
+
+    #[test]
+    fn pruning_saves_energy() {
+        let (dense, sparse) = devices();
+        let img = Tensor3::full(16, 12, 12, 0.5);
+        let e_dense = dense.energy_estimate(&img, &EnergyModel::default());
+        let e_sparse = sparse.energy_estimate(&img, &EnergyModel::default());
+        assert!(
+            e_sparse.total_pj() < e_dense.total_pj(),
+            "sparse {} >= dense {}",
+            e_sparse.total_pj(),
+            e_dense.total_pj()
+        );
+        // The DRAM component dominates on edge workloads.
+        assert!(e_dense.dram_pj > e_dense.mac_pj);
+    }
+
+    #[test]
+    fn defence_costs_energy() {
+        let mut b = NetworkBuilder::new(2, 12, 12);
+        let x = b.input();
+        b.conv(x, 8, 3, 1);
+        let net = b.build();
+        let mut params = Params::init(&net, 3);
+        let profile = hd_dnn::prune::SparsityProfile {
+            targets: vec![(1, 0.8)],
+        };
+        hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 4);
+        let plain = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
+        let defended = Device::new(
+            net,
+            params,
+            AccelConfig::eyeriss_v2().with_defence(crate::defence::Defence::PadEdges { band: 2 }),
+        );
+        let img = {
+            // A negative input drives many edge activations to zero so the
+            // pad-edges defence has something to pad.
+            let mut t = Tensor3::full(2, 12, 12, -0.5);
+            t.set(0, 6, 6, 1.0);
+            t
+        };
+        let e0 = plain.energy_estimate(&img, &EnergyModel::default());
+        let e1 = defended.energy_estimate(&img, &EnergyModel::default());
+        assert!(
+            e1.dram_pj >= e0.dram_pj,
+            "defence should not reduce DRAM energy"
+        );
+    }
+
+    #[test]
+    fn report_totals_add_up() {
+        let r = EnergyReport {
+            dram_pj: 1.0,
+            glb_pj: 2.0,
+            mac_pj: 3.0,
+        };
+        assert!((r.total_pj() - 6.0).abs() < 1e-12);
+        assert!((r.total_uj() - 6e-6).abs() < 1e-18);
+    }
+}

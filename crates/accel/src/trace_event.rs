@@ -1,0 +1,268 @@
+//! DRAM bus trace events — exactly what a hardware bus probe (HMTT-style)
+//! would capture: time, address, direction, and burst size. Contents are
+//! deliberately absent (the threat model assumes encrypted data).
+
+use std::fmt;
+
+/// Bus transfer direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Chip reads from DRAM.
+    Read,
+    /// Chip writes to DRAM.
+    Write,
+}
+
+/// One observed DRAM burst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Time of the burst in picoseconds from trace start.
+    pub time_ps: u64,
+    /// Starting byte address.
+    pub addr: u64,
+    /// Direction.
+    pub kind: AccessKind,
+    /// Burst length in bytes.
+    pub bytes: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        write!(f, "{:>12}ps {k} 0x{:08x} +{}", self.time_ps, self.addr, self.bytes)
+    }
+}
+
+/// A full run's worth of bus events, in chronological order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Chronological events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Total bytes transferred in the given direction.
+    pub fn total_bytes(&self, kind: AccessKind) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Error parsing a CSV trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Malformed {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Writes the trace as CSV (`time_ps,kind,addr,bytes`) — the natural
+    /// interchange format for traces captured by real bus probes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn to_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "time_ps,kind,addr,bytes")?;
+        for e in &self.events {
+            let k = match e.kind {
+                AccessKind::Read => 'R',
+                AccessKind::Write => 'W',
+            };
+            writeln!(w, "{},{k},0x{:x},{}", e.time_ps, e.addr, e.bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a CSV trace produced by [`Trace::to_csv`] (or converted from
+    /// a hardware probe's log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on I/O failure or malformed rows.
+    pub fn from_csv<R: std::io::BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+        let mut events = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || (i == 0 && line.starts_with("time_ps")) {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let mut field = |reason| {
+                parts.next().ok_or(ParseTraceError::Malformed {
+                    line: i + 1,
+                    reason,
+                })
+            };
+            let time_ps = field("missing time")?
+                .trim()
+                .parse()
+                .map_err(|_| ParseTraceError::Malformed {
+                    line: i + 1,
+                    reason: "bad time",
+                })?;
+            let kind = match field("missing kind")?.trim() {
+                "R" | "r" => AccessKind::Read,
+                "W" | "w" => AccessKind::Write,
+                _ => {
+                    return Err(ParseTraceError::Malformed {
+                        line: i + 1,
+                        reason: "kind must be R or W",
+                    })
+                }
+            };
+            let addr_s = field("missing addr")?.trim();
+            let addr = if let Some(hex) = addr_s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                addr_s.parse()
+            }
+            .map_err(|_| ParseTraceError::Malformed {
+                line: i + 1,
+                reason: "bad addr",
+            })?;
+            let bytes = field("missing bytes")?
+                .trim()
+                .parse()
+                .map_err(|_| ParseTraceError::Malformed {
+                    line: i + 1,
+                    reason: "bad bytes",
+                })?;
+            events.push(TraceEvent {
+                time_ps,
+                addr,
+                kind,
+                bytes,
+            });
+        }
+        Ok(Trace { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_by_direction() {
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    time_ps: 0,
+                    addr: 0,
+                    kind: AccessKind::Read,
+                    bytes: 64,
+                },
+                TraceEvent {
+                    time_ps: 10,
+                    addr: 64,
+                    kind: AccessKind::Write,
+                    bytes: 32,
+                },
+                TraceEvent {
+                    time_ps: 20,
+                    addr: 128,
+                    kind: AccessKind::Read,
+                    bytes: 64,
+                },
+            ],
+        };
+        assert_eq!(t.total_bytes(AccessKind::Read), 128);
+        assert_eq!(t.total_bytes(AccessKind::Write), 32);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    time_ps: 0,
+                    addr: 0x1000,
+                    kind: AccessKind::Write,
+                    bytes: 64,
+                },
+                TraceEvent {
+                    time_ps: 120,
+                    addr: 0x2000,
+                    kind: AccessKind::Read,
+                    bytes: 32,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        t.to_csv(&mut buf).unwrap();
+        let parsed = Trace::from_csv(buf.as_slice()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn csv_accepts_decimal_addresses_and_skips_header() {
+        let csv = "time_ps,kind,addr,bytes\n5,R,4096,64\n";
+        let t = Trace::from_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].addr, 4096);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Trace::from_csv("1,X,0x0,64\n".as_bytes()).is_err());
+        assert!(Trace::from_csv("nope\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            time_ps: 1234,
+            addr: 0x1000,
+            kind: AccessKind::Write,
+            bytes: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("W"));
+        assert!(s.contains("0x00001000"));
+    }
+}

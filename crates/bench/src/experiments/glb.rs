@@ -1,0 +1,83 @@
+//! E4 — §8.2 encoder table: GLB-boundedness check and the minimum GLB
+//! bandwidth multiplier before any layer turns DRAM-bound, across the six
+//! LPDDR configurations.
+
+use crate::table::Table;
+use crate::victims::{paper_victim_with, Model};
+use crate::Scale;
+use hd_accel::{AccelConfig, DramConfig, EncodeBound};
+use hd_tensor::Tensor3;
+
+/// Regenerates the bandwidth-multiplier table (§8.2). Every stock
+/// configuration must be GLB-bound; the cell reports how much extra GLB
+/// bandwidth flips the first layer to DRAM-bound.
+pub fn glb_bound_table(scale: Scale) -> Table {
+    let mut header: Vec<String> = vec!["model".to_string()];
+    let sweep = DramConfig::paper_sweep();
+    for cfg in &sweep {
+        header.push(cfg.to_string());
+    }
+    let mut t = Table::new(
+        "§8.2 — GLB bandwidth multiplier to first DRAM-bound layer",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    let models: &[Model] = match scale {
+        Scale::Smoke | Scale::Fast => &[Model::ResNet18],
+        Scale::Full => &Model::BOTH,
+    };
+    // A natural-image-like input exercises realistic activation sparsity.
+    let mut image = Tensor3::zeros(3, 32, 32);
+    for (i, v) in image.data_mut().iter_mut().enumerate() {
+        *v = ((i % 17) as f32 / 17.0 - 0.2).max(0.0);
+    }
+
+    for &model in models {
+        let mut row = vec![model.name().to_string()];
+        for dram in &sweep {
+            let (device, _) = paper_victim_with(
+                model,
+                5,
+                AccelConfig::eyeriss_v2().with_dram(*dram),
+            );
+            let timings = device.encode_timings(&image);
+            let mut min_mult = f64::INFINITY;
+            let mut all_glb = true;
+            for (_, timing) in &timings {
+                if timing.bound == EncodeBound::DramBound {
+                    all_glb = false;
+                }
+                min_mult = min_mult.min(timing.flip_multiplier());
+            }
+            row.push(if all_glb {
+                format!("{min_mult:.1}x")
+            } else {
+                format!("DRAM-bound ({min_mult:.1}x)")
+            });
+        }
+        t.push_row(row);
+    }
+    t.push_note("paper row for VGG-S: 2x / 4x / 2.3x / 4.6x / 2.7x / 5.3x");
+    t.push_note("paper row for ResNet18: 1.8x / 3.5x / 2x / 4.1x / 2.3x / 4.7x");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_configs_are_glb_bound_with_sane_multipliers() {
+        let t = glb_bound_table(Scale::Fast);
+        for cell in &t.rows[0][1..] {
+            assert!(!cell.contains("DRAM-bound"), "cell {cell}");
+            let mult: f64 = cell.trim_end_matches('x').parse().unwrap();
+            assert!((1.0..30.0).contains(&mult), "multiplier {mult}");
+        }
+        // Dual-channel columns are ~2x the single-channel ones.
+        let single: f64 = t.rows[0][1].trim_end_matches('x').parse().unwrap();
+        let dual: f64 = t.rows[0][2].trim_end_matches('x').parse().unwrap();
+        let ratio = dual / single;
+        assert!((1.6..2.4).contains(&ratio), "dual/single ratio {ratio}");
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper artifact. Each function returns a [`crate::Table`]
+//! suitable for printing and for recording in `EXPERIMENTS.md`.
+
+mod ablations;
+mod figs456;
+mod glb;
+mod observability;
+mod prober_exp;
+mod solutions;
+mod table1;
+
+pub use ablations::{codec_ablation, defence_ablation, generality_sweep, probe_budget_ablation};
+pub use figs456::{fig4_accuracy, fig5_fig6_transfer, prepare_models, PreparedModels};
+pub use glb::glb_bound_table;
+pub use observability::observability_table;
+pub use prober_exp::prober_table;
+pub use solutions::final_solution_table;
+pub use table1::table1;

@@ -1,0 +1,24 @@
+//! Experiment harness for the HuffDuff reproduction.
+//!
+//! Every table and figure in the paper's evaluation (§8) has a regenerator
+//! here; the `experiments` binary prints them at full scale and the
+//! Criterion benches print fast-scale versions while timing the hot
+//! kernels. See `EXPERIMENTS.md` at the workspace root for the
+//! paper-vs-measured record.
+
+pub mod experiments;
+pub mod table;
+pub mod victims;
+
+pub use table::Table;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes for `cargo bench` table previews.
+    Smoke,
+    /// Reduced sizes for quick runs (`experiments --fast`).
+    Fast,
+    /// The scale reported in `EXPERIMENTS.md`.
+    Full,
+}

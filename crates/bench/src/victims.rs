@@ -1,0 +1,138 @@
+//! Victim construction shared by the experiments.
+
+use hd_accel::{AccelConfig, Device};
+use hd_dnn::graph::{Network, Params};
+use hd_dnn::prune::{apply_sparsity_profile, paper_profile, Mask, SparsityProfile};
+
+/// Which paper victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// VGG-S (7 conv layers, 96-channel 7x7 stem).
+    VggS,
+    /// CIFAR ResNet-18.
+    ResNet18,
+}
+
+impl Model {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::VggS => "VGG-S",
+            Model::ResNet18 => "ResNet18",
+        }
+    }
+
+    /// Full-size network.
+    pub fn network(&self, classes: usize) -> Network {
+        match self {
+            Model::VggS => hd_dnn::zoo::vgg_s(classes),
+            Model::ResNet18 => hd_dnn::zoo::resnet18(classes),
+        }
+    }
+
+    /// Both paper victims.
+    pub const BOTH: [Model; 2] = [Model::VggS, Model::ResNet18];
+}
+
+/// A full-size victim pruned with the paper-shaped sparsity profile and
+/// sealed inside an Eyeriss-v2-like device.
+pub fn paper_victim(model: Model, seed: u64) -> (Device, Network) {
+    let net = model.network(10);
+    let mut params = Params::init(&net, seed);
+    let profile = paper_profile(&net);
+    apply_sparsity_profile(&net, &mut params, &profile, seed ^ 0xBEEF);
+    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+    (device, net)
+}
+
+/// Same victim on a custom accelerator configuration.
+pub fn paper_victim_with(model: Model, seed: u64, cfg: AccelConfig) -> (Device, Network) {
+    let net = model.network(10);
+    let mut params = Params::init(&net, seed);
+    let profile = paper_profile(&net);
+    apply_sparsity_profile(&net, &mut params, &profile, seed ^ 0xBEEF);
+    let device = Device::new(net.clone(), params, cfg);
+    (device, net)
+}
+
+/// Uniform-moderate profile for width-scaled "mini" victims: the full
+/// paper profile is calibrated to 512-channel layers and would leave a
+/// 2-digit-channel layer with almost no weights.
+pub fn mini_profile(net: &Network) -> SparsityProfile {
+    SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.75 }))
+            .collect(),
+    }
+}
+
+/// Prunes `params` globally so the surviving weight count is close to
+/// `footprint` (the iso-footprint constraint of Fig. 4). Returns the mask.
+pub fn prune_to_footprint(
+    net: &Network,
+    params: &mut Params,
+    footprint: usize,
+    min_layer_keep: usize,
+) -> Mask {
+    let dense = net.dense_weight_count(params);
+    let sparsity = (1.0 - footprint as f64 / dense as f64).clamp(0.0, 0.995);
+    let mask = hd_dnn::prune::magnitude_prune_global(net, params, sparsity, min_layer_keep);
+    mask.apply(params);
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_have_paper_first_layers() {
+        let (dev, net) = paper_victim(Model::VggS, 1);
+        let oracle = dev.oracle();
+        let first_conv = net.conv_nodes()[0];
+        let w = oracle.params.conv(first_conv).w;
+        assert_eq!((w.k(), w.r()), (96, 7));
+        // First layer sparsity stays under the paper's 60% bound.
+        assert!(w.sparsity() <= 0.6);
+
+        let (dev, net) = paper_victim(Model::ResNet18, 1);
+        let w = dev.oracle().params.conv(net.conv_nodes()[0]).w;
+        assert_eq!((w.k(), w.r()), (64, 3));
+    }
+
+    #[test]
+    fn paper_victims_are_10x_compressed() {
+        for model in Model::BOTH {
+            let (dev, net) = paper_victim(model, 2);
+            let oracle = dev.oracle();
+            let dense = net.dense_weight_count(oracle.params);
+            let sparse = net.sparse_weight_count(oracle.params);
+            let compression = dense as f64 / sparse as f64;
+            // Paper reports 10x on ImageNet-scale models whose giant FC
+            // layers dominate the parameter count; our CIFAR-scale heads
+            // are small, so the same per-layer profile compresses more.
+            assert!(
+                compression > 5.0 && compression < 300.0,
+                "{}: compression {compression}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_pruning_hits_target() {
+        let net = hd_dnn::zoo::vgg_s_scaled(10, 0.0625);
+        let mut params = Params::init(&net, 3);
+        let dense = net.dense_weight_count(&params);
+        let target = dense / 10;
+        prune_to_footprint(&net, &mut params, target, 4);
+        let got = net.sparse_weight_count(&params);
+        assert!(
+            (got as f64 - target as f64).abs() / (target as f64) < 0.25,
+            "target {target}, got {got}"
+        );
+    }
+}

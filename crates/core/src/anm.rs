@@ -1,0 +1,188 @@
+//! The generalized input pattern `A(m, n)` (paper §6.1) and its decoding.
+//!
+//! After passing through `l` layers, a probe family's rows all share the
+//! shape the paper formalizes as `A(m, n)`:
+//!
+//! ```text
+//! x_t = s_1 … s_m,  b … b,  f_1 … f_n,  b, b, …
+//!                   └ t ┘
+//! ```
+//!
+//! `m` edge constants (the bias/boundary interaction, `ω`-like terms), a
+//! sliding feature of length `n` (the accumulated impulse response,
+//! `[ε δ γ β α]`-like), and a constant background `b` (the bias response,
+//! `ζ`). The prober proper tracks full symbolic rows — strictly more
+//! information — but this module exposes the paper's abstraction for
+//! analysis and testing: generate `A(m, n)` families and decode `(m, n)`
+//! back out of symbolic rows ("DecodeOutPattern" in Algorithm 1).
+
+use crate::symbolic::{Sym, VarSource};
+
+/// Parameters of a generalized pattern family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Anm {
+    /// Number of fixed edge constants.
+    pub m: usize,
+    /// Feature length.
+    pub n: usize,
+}
+
+/// Generates the symbolic row family `A(m, n)` over `shifts` shifts of a
+/// width-`w` row: `m` fixed edge constants, a length-`n` feature sliding
+/// right by one per shift, background elsewhere.
+///
+/// # Panics
+///
+/// Panics if the widest placement `m + shifts - 1 + n` exceeds `w`.
+pub fn generate(anm: Anm, w: usize, shifts: usize, vars: &mut VarSource) -> Vec<Vec<Sym>> {
+    assert!(
+        anm.m + shifts.saturating_sub(1) + anm.n <= w,
+        "A({}, {}) with {shifts} shifts does not fit width {w}",
+        anm.m,
+        anm.n
+    );
+    let edge: Vec<Sym> = (0..anm.m).map(|_| vars.fresh()).collect();
+    let feature: Vec<Sym> = (0..anm.n).map(|_| vars.fresh()).collect();
+    let background = vars.fresh();
+    (0..shifts)
+        .map(|t| {
+            let mut row = vec![background; w];
+            row[..anm.m].copy_from_slice(&edge);
+            for (j, &f) in feature.iter().enumerate() {
+                row[anm.m + t + j] = f;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Decodes `(m, n)` from a family of symbolic rows, assuming they follow
+/// the `A(m, n)` structure for *consecutive unit shifts*.
+///
+/// `m` is the longest common prefix shared by every row; `n` is the span
+/// of positions (after the prefix) where the first row differs from the
+/// last row's background region. Returns `None` when fewer than two rows
+/// are given or the rows have inconsistent lengths.
+pub fn decode(rows: &[Vec<Sym>]) -> Option<Anm> {
+    if rows.len() < 2 {
+        return None;
+    }
+    let w = rows[0].len();
+    if rows.iter().any(|r| r.len() != w) {
+        return None;
+    }
+    // m: positions where all rows agree, from the left.
+    let mut m = 0;
+    'outer: for i in 0..w {
+        for r in &rows[1..] {
+            if r[i] != rows[0][i] {
+                break 'outer;
+            }
+        }
+        m += 1;
+    }
+    // Background: the most frequent value in the first row. The extreme
+    // columns can carry right-edge constants (the mirror of the `m`
+    // prefix), so the mode is the robust estimate of `b`.
+    let mut counts: std::collections::HashMap<Sym, usize> = std::collections::HashMap::new();
+    for &v in &rows[0] {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let background = *counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(v, _)| v)
+        .expect("non-empty row");
+    // Agreed suffix: positions all rows share from the right (untouched
+    // background plus right-edge constants); the sliding feature never
+    // lives there for the shifts examined.
+    let mut suffix = 0;
+    'suf: for i in (m..w).rev() {
+        for r in &rows[1..] {
+            if r[i] != rows[0][i] {
+                break 'suf;
+            }
+        }
+        suffix += 1;
+    }
+    // Feature span in the first row: first/last non-background cell in
+    // the sliding region.
+    let mut first = None;
+    let mut last = None;
+    #[allow(clippy::needless_range_loop)] // index-parallel numeric kernel
+    for i in m..w - suffix {
+        if rows[0][i] != background {
+            if first.is_none() {
+                first = Some(i);
+            }
+            last = Some(i);
+        }
+    }
+    let n = match (first, last) {
+        (Some(f), Some(l)) => l - f + 1,
+        _ => 0,
+    };
+    Some(Anm { m, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{ConvHypothesis, SymConvLayer};
+
+    #[test]
+    fn generate_then_decode_roundtrips() {
+        for (m, n) in [(0usize, 1usize), (1, 3), (2, 5), (0, 4)] {
+            let mut vars = VarSource::new(m as u64 * 31 + n as u64);
+            let rows = generate(Anm { m, n }, 24, 6, &mut vars);
+            let decoded = decode(&rows).unwrap();
+            assert_eq!(decoded, Anm { m, n }, "A({m},{n})");
+        }
+    }
+
+    #[test]
+    fn impulse_family_is_a01() {
+        let mut vars = VarSource::new(3);
+        let rows = crate::symbolic::impulse_rows(16, 5, &mut vars);
+        // impulse_rows places the feature at position t with zero
+        // background and no edge constants — A(0, 1) with b = 0.
+        let decoded = decode(&rows).unwrap();
+        assert_eq!(decoded, Anm { m: 0, n: 1 });
+    }
+
+    #[test]
+    fn conv_grows_feature_and_edge_constants() {
+        // Paper §5.3: after a 3-tap conv layer with bias, A(0, 1) becomes
+        // A(m', n') with n' = n + kernel - 1 and at least one edge
+        // constant from the bias response.
+        let mut vars = VarSource::new(7);
+        let rows = generate(Anm { m: 0, n: 1 }, 24, 6, &mut vars);
+        let layer = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+        // Drop rows whose filter response is truncated at the edge (the
+        // paper discards these before analyzing the next layer).
+        let interior = &out[2..];
+        let decoded = decode(interior).unwrap();
+        assert_eq!(decoded.n, 3, "feature grows to n + k - 1");
+        assert!(decoded.m >= 1, "bias edge response creates edge constants");
+    }
+
+    #[test]
+    fn decode_rejects_degenerate_input() {
+        assert!(decode(&[]).is_none());
+        let mut vars = VarSource::new(1);
+        let one = generate(Anm { m: 0, n: 1 }, 8, 1, &mut vars);
+        assert!(decode(&one).is_none());
+        // Inconsistent widths.
+        let mut rows = generate(Anm { m: 0, n: 1 }, 8, 2, &mut vars);
+        rows[1].pop();
+        assert!(decode(&rows).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn generate_checks_width() {
+        let mut vars = VarSource::new(1);
+        let _ = generate(Anm { m: 4, n: 8 }, 12, 4, &mut vars);
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end HuffDuff attack orchestration.
+//!
+//! Glues the pieces together exactly as the paper does: probe the boundary
+//! effect for geometry (§5–6), read the encoding timing channel for channel
+//! ratios (§7), and finalize a small candidate space via the first-layer
+//! sparsity bound (§8.2).
+
+use crate::prober::{probe, ProbeError, ProbeTarget, ProberConfig, ProberResult};
+use crate::solution::{finalize, CodecModel, SolutionError, SolutionSpace};
+use crate::timing::{channel_ratios, ChannelRatios, TimingError};
+use std::fmt;
+
+/// Full attack configuration.
+#[derive(Clone, Debug)]
+pub struct AttackConfig {
+    /// Prober settings.
+    pub prober: ProberConfig,
+    /// Attacker's model of the device's transfer codec (datasheet).
+    pub codec: CodecModel,
+    /// Empirical bound on first-layer weight sparsity (paper: 60%).
+    pub first_layer_max_sparsity: f64,
+    /// Number of output classes (observable from the device API).
+    pub classes: usize,
+    /// Upper bound on any channel count considered.
+    pub max_k: usize,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            prober: ProberConfig::default(),
+            codec: CodecModel::default(),
+            first_layer_max_sparsity: 0.6,
+            classes: 10,
+            max_k: 1024,
+        }
+    }
+}
+
+/// Everything the attack recovered.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    /// Geometry recovery (per-layer kinds, kernels, strides, pools).
+    pub prober: ProberResult,
+    /// Timing-channel channel ratios.
+    pub ratios: ChannelRatios,
+    /// Finalized candidate space.
+    pub space: SolutionSpace,
+}
+
+impl AttackOutcome {
+    /// Human-readable end-to-end report.
+    pub fn report(&self) -> String {
+        let mut s = self.prober.report();
+        s.push_str(&format!(
+            "timing channel: {} conv layers, ratios {:?}\n",
+            self.ratios.ratios.len(),
+            self.ratios
+                .ratios
+                .iter()
+                .map(|(_, r)| (r * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        ));
+        s.push_str(&self.space.report());
+        s.push('\n');
+        s
+    }
+}
+
+/// Attack failure modes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttackError {
+    /// Probing failed.
+    Probe(ProbeError),
+    /// Timing-channel extraction failed.
+    Timing(TimingError),
+    /// Solution-space finalization failed.
+    Solution(SolutionError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Probe(e) => write!(f, "probing failed: {e}"),
+            AttackError::Timing(e) => write!(f, "timing channel failed: {e}"),
+            AttackError::Solution(e) => write!(f, "finalization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<ProbeError> for AttackError {
+    fn from(e: ProbeError) -> Self {
+        AttackError::Probe(e)
+    }
+}
+
+impl From<TimingError> for AttackError {
+    fn from(e: TimingError) -> Self {
+        AttackError::Timing(e)
+    }
+}
+
+impl From<SolutionError> for AttackError {
+    fn from(e: SolutionError) -> Self {
+        AttackError::Solution(e)
+    }
+}
+
+/// Runs the full HuffDuff attack against a probeable target.
+///
+/// # Errors
+///
+/// Returns [`AttackError`] if any stage cannot complete.
+pub fn run(target: &dyn ProbeTarget, cfg: &AttackConfig) -> Result<AttackOutcome, AttackError> {
+    let prober = probe(target, &cfg.prober)?;
+    let ratios = channel_ratios(&prober)?;
+    let space = finalize(
+        &prober,
+        &ratios,
+        target.input_shape(),
+        cfg.classes,
+        &cfg.codec,
+        cfg.first_layer_max_sparsity,
+        cfg.max_k,
+    )?;
+    Ok(AttackOutcome {
+        prober,
+        ratios,
+        space,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_accel::{AccelConfig, Device};
+    use hd_dnn::graph::{NetworkBuilder, Params};
+
+    fn victim() -> Device {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.conv(x, 16, 3, 1);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 4);
+        let net = b.build();
+        let mut params = Params::init(&net, 5);
+        // Moderate pruning: the paper-scale profile (99.8% on the largest
+        // layer) is calibrated for 512-channel layers; at 8–16 channels it
+        // would leave almost no weights and no observable boundary effect.
+        let profile = hd_dnn::prune::SparsityProfile {
+            targets: net.weighted_nodes().iter().enumerate().map(|(pos, &id)| {
+                (id, if pos == 0 { 0.45 } else { 0.7 })
+            }).collect(),
+        };
+        hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 6);
+        Device::new(net, params, AccelConfig::eyeriss_v2())
+    }
+
+    fn cfg() -> AttackConfig {
+        AttackConfig {
+            prober: ProberConfig {
+                shifts: 12,
+                max_probes: 8,
+                stable_probes: 2,
+                kernels: vec![1, 3, 5],
+                strides: vec![1, 2],
+                pools: vec![2, 3],
+                seed: 77,
+            },
+            classes: 4,
+            max_k: 256,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_attack_recovers_victim() {
+        let dev = victim();
+        let out = run(&dev, &cfg()).unwrap();
+
+        // Geometry.
+        use crate::prober::LayerKind;
+        assert_eq!(out.prober.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(out.prober.layers[1].kind, LayerKind::Pool { factor: 2 });
+        assert_eq!(out.prober.layers[2].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(out.prober.layers[3].kind, LayerKind::GlobalPool);
+        assert_eq!(out.prober.layers[4].kind, LayerKind::Dense);
+
+        // Channel ratio conv2/conv1 = 16/8 = 2.
+        let r = out.ratios.ratios[1].1;
+        assert!((r - 2.0).abs() < 0.25, "ratio {r}");
+
+        // The true k1 = 8 is inside the finalized range.
+        assert!(
+            out.space.k1_candidates.contains(&8),
+            "range {:?}",
+            out.space.k1_candidates
+        );
+        // The space is small (tens, not thousands).
+        assert!(out.space.count() < 50, "count {}", out.space.count());
+
+        // Candidates rebuild into runnable networks.
+        let arch = out.space.candidate(8);
+        let net = out.space.build_network(&arch);
+        let params = hd_dnn::graph::Params::init(&net, 1);
+        let fwd = net.forward(&params, &hd_tensor::Tensor3::full(3, 16, 16, 0.5));
+        assert_eq!(fwd.logits().len(), 4);
+
+        // Report covers all stages.
+        let rep = out.report();
+        assert!(rep.contains("prober"));
+        assert!(rep.contains("timing channel"));
+        assert!(rep.contains("solution space"));
+    }
+
+    #[test]
+    fn sampled_candidates_are_distinct_and_buildable() {
+        let dev = victim();
+        let out = run(&dev, &cfg()).unwrap();
+        let samples = out.space.sample(4, 9);
+        assert!(samples.len() <= 4 && !samples.is_empty());
+        let mut k1s: Vec<usize> = samples.iter().map(|a| a.k1).collect();
+        k1s.dedup();
+        assert_eq!(k1s.len(), samples.len(), "duplicate k1 sampled");
+        for arch in &samples {
+            let net = out.space.build_network(arch);
+            assert!(net.len() > 3);
+        }
+    }
+}

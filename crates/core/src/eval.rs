@@ -1,0 +1,164 @@
+//! Evaluation helpers: compare recovered geometry against the oracle.
+//!
+//! Only experiment harnesses use this module — it needs the ground-truth
+//! network, which the attacker never has.
+
+use crate::prober::{LayerKind, ProberResult};
+use hd_dnn::graph::{Network, Op};
+
+/// Expected [`LayerKind`] sequence for a network, aligned with the observed
+/// layer order (input and flatten nodes produce no observable layer).
+pub fn expected_kinds(net: &Network) -> Vec<LayerKind> {
+    net.nodes()
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Input | Op::Flatten => None,
+            Op::Conv(spec) => Some(LayerKind::Conv {
+                kernel: spec.kernel,
+                stride: spec.stride,
+            }),
+            Op::DwConv { kernel, stride, .. } => Some(LayerKind::Conv {
+                kernel: *kernel,
+                stride: *stride,
+            }),
+            Op::Pool { factor, .. } => Some(LayerKind::Pool { factor: *factor }),
+            Op::Add { .. } => Some(LayerKind::Add),
+            Op::GlobalAvgPool => Some(LayerKind::GlobalPool),
+            Op::Linear { .. } => Some(LayerKind::Dense),
+        })
+        .collect()
+}
+
+/// True output channel count per conv node, aligned with the conv layers
+/// the prober reports.
+pub fn expected_conv_channels(net: &Network) -> Vec<usize> {
+    net.nodes()
+        .iter()
+        .filter_map(|n| match &n.op {
+            Op::Conv(spec) => Some(spec.out_channels),
+            Op::DwConv { .. } => net.value_shape(n.inputs[0]).as_map().map(|s| s.c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Geometry-recovery score.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeometryScore {
+    /// Layers compared.
+    pub total: usize,
+    /// Layers whose recovered kind exactly matches the oracle.
+    pub correct: usize,
+    /// `(layer index, expected, recovered)` for each mismatch.
+    pub mismatches: Vec<(usize, String, String)>,
+}
+
+impl GeometryScore {
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// True when every layer matched.
+    pub fn perfect(&self) -> bool {
+        self.total > 0 && self.correct == self.total
+    }
+}
+
+/// Scores a prober result against the oracle network.
+pub fn score_geometry(oracle: &Network, result: &ProberResult) -> GeometryScore {
+    let expected = expected_kinds(oracle);
+    let total = expected.len().max(result.layers.len());
+    let mut correct = 0;
+    let mut mismatches = Vec::new();
+    for i in 0..total {
+        let e = expected.get(i);
+        let got = result.layers.get(i).map(|l| l.kind);
+        match (e, got) {
+            (Some(e), Some(g)) if *e == g => correct += 1,
+            (e, g) => mismatches.push((
+                i,
+                e.map_or("<missing>".to_string(), |k| k.to_string()),
+                g.map_or("<missing>".to_string(), |k| k.to_string()),
+            )),
+        }
+    }
+    GeometryScore {
+        total,
+        correct,
+        mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_dnn::graph::NetworkBuilder;
+
+    #[test]
+    fn expected_kinds_skip_input_and_flatten() {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.flatten(x);
+        b.linear(x, 10);
+        let net = b.build();
+        let kinds = expected_kinds(&net);
+        assert_eq!(
+            kinds,
+            vec![
+                LayerKind::Conv { kernel: 3, stride: 1 },
+                LayerKind::Pool { factor: 2 },
+                LayerKind::Dense
+            ]
+        );
+    }
+
+    #[test]
+    fn expected_conv_channels_in_order() {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.conv(x, 12, 3, 1);
+        b.global_avg_pool(x);
+        let net = b.build();
+        assert_eq!(expected_conv_channels(&net), vec![4, 12]);
+    }
+
+    #[test]
+    fn score_counts_mismatches() {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        b.conv(x, 4, 3, 1);
+        let net = b.build();
+        // A fabricated prober result with the wrong kernel.
+        let result = ProberResult {
+            layers: vec![crate::prober::RecoveredLayer {
+                index: 0,
+                inputs: vec![0],
+                kind: LayerKind::Conv { kernel: 5, stride: 1 },
+                alternatives: vec![],
+                out_hw: Some((8, 8)),
+                pattern: crate::pattern::Pattern::of(&[0u8]),
+                weight_bytes: 1,
+                output_bytes: 1,
+                encode_window_ps: 1,
+            }],
+            probes_used: 1,
+            runs_used: 1,
+            structure: hd_trace::TraceAnalysis {
+                tensors: vec![],
+                layers: vec![],
+            },
+        };
+        let score = score_geometry(&net, &result);
+        assert_eq!(score.total, 1);
+        assert_eq!(score.correct, 0);
+        assert!(!score.perfect());
+        assert_eq!(score.mismatches.len(), 1);
+    }
+}

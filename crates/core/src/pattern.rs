@@ -1,0 +1,215 @@
+//! Observability patterns over probe shifts.
+//!
+//! Sliding a probe feature across the input produces a sequence of
+//! responses, one per shift. Grouping shifts by *equal observables*
+//! (equal transfer bytes on the measured side; equal output multisets on
+//! the symbolic side) yields a [`Pattern`] like `ABCC…` (paper §5.4/§6.2).
+//!
+//! Errors are one-sided: positions the true geometry makes *equal* are
+//! always measured equal, but truly *distinct* positions may collide
+//! (unobservable boundary effect). Hence a measurement is always a
+//! **coarsening** of the true pattern, and independent probes are combined
+//! with [`Pattern::refine`] to approach the true pattern from below.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A partition of shift positions into equality classes, canonically
+/// labelled by first occurrence (`0, 1, 2, …` rendered as `A, B, C, …`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    labels: Vec<u16>,
+}
+
+impl Pattern {
+    /// Builds the pattern of a sequence of observables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use huffduff_core::pattern::Pattern;
+    ///
+    /// let p = Pattern::of(&[10u64, 20, 30, 30]);
+    /// assert_eq!(p.to_string(), "ABCC");
+    /// ```
+    pub fn of<T: Eq + Hash>(items: &[T]) -> Pattern {
+        let mut seen: HashMap<&T, u16> = HashMap::new();
+        let mut labels = Vec::with_capacity(items.len());
+        for item in items {
+            let next = seen.len() as u16;
+            let label = *seen.entry(item).or_insert(next);
+            labels.push(label);
+        }
+        Pattern { labels }
+    }
+
+    /// Number of shift positions.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` for a zero-length pattern.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Canonical labels.
+    pub fn labels(&self) -> &[u16] {
+        &self.labels
+    }
+
+    /// Whether `self` (a measurement) is a coarsening of `fine` (a
+    /// hypothesis): every pair `fine` calls equal, `self` must also call
+    /// equal. Patterns of different lengths are never comparable.
+    ///
+    /// This is the acceptance test for a geometry hypothesis: structural
+    /// equality forces byte equality, so a measurement that *splits* a
+    /// hypothesis class refutes the hypothesis.
+    pub fn is_coarsening_of(&self, fine: &Pattern) -> bool {
+        if self.len() != fine.len() {
+            return false;
+        }
+        // fine label -> self label must be a function.
+        let mut map: HashMap<u16, u16> = HashMap::new();
+        for (&f, &s) in fine.labels.iter().zip(&self.labels) {
+            match map.get(&f) {
+                Some(&prev) if prev != s => return false,
+                Some(_) => {}
+                None => {
+                    map.insert(f, s);
+                }
+            }
+        }
+        true
+    }
+
+    /// Combines two measurements of the same layer: positions are equal in
+    /// the result only if equal in **both** (the finest common refinement —
+    /// any probe that distinguishes two shifts proves them distinct).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn refine(&self, other: &Pattern) -> Pattern {
+        assert_eq!(self.len(), other.len(), "cannot refine patterns of different length");
+        let pairs: Vec<(u16, u16)> = self
+            .labels
+            .iter()
+            .zip(&other.labels)
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        Pattern::of(&pairs)
+    }
+
+    /// Refines a whole collection of measurements into the finest pattern.
+    ///
+    /// Returns `None` for an empty collection.
+    pub fn refine_all<'a, I: IntoIterator<Item = &'a Pattern>>(patterns: I) -> Option<Pattern> {
+        let mut it = patterns.into_iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, p| acc.refine(p)))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &l in &self.labels {
+            if l < 26 {
+                write!(f, "{}", (b'A' + l as u8) as char)?;
+            } else {
+                write!(f, "({l})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_labels() {
+        assert_eq!(Pattern::of(&[5, 5, 5, 5]).to_string(), "AAAA");
+        assert_eq!(Pattern::of(&[9, 1, 3, 3]).to_string(), "ABCC");
+        assert_eq!(Pattern::of(&[1, 2, 1, 2]).to_string(), "ABAB");
+    }
+
+    #[test]
+    fn class_count() {
+        assert_eq!(Pattern::of(&[1, 2, 3, 3]).class_count(), 3);
+        assert_eq!(Pattern::of::<u8>(&[]).class_count(), 0);
+    }
+
+    #[test]
+    fn coarsening_direction() {
+        let fine = Pattern::of(&[0, 1, 2, 2]); // ABCC (hypothesis)
+        let coarse = Pattern::of(&[0, 1, 1, 1]); // ABBB (measurement w/ collision)
+        let all_equal = Pattern::of(&[0, 0, 0, 0]); // AAAA
+        assert!(coarse.is_coarsening_of(&fine));
+        assert!(all_equal.is_coarsening_of(&fine));
+        assert!(fine.is_coarsening_of(&fine));
+        // A measurement that SPLITS a hypothesis class refutes it.
+        assert!(!fine.is_coarsening_of(&all_equal));
+        let split = Pattern::of(&[0, 1, 2, 3]); // ABCD
+        assert!(!split.is_coarsening_of(&fine));
+    }
+
+    #[test]
+    fn coarsening_requires_same_length() {
+        let a = Pattern::of(&[0, 1]);
+        let b = Pattern::of(&[0, 1, 2]);
+        assert!(!a.is_coarsening_of(&b));
+    }
+
+    #[test]
+    fn refine_recovers_true_pattern_from_partial_views() {
+        // True pattern ABCC; two probes each obscure one distinction.
+        let p1 = Pattern::of(&[0, 0, 1, 1]); // AABB (A~B collided)
+        let p2 = Pattern::of(&[0, 1, 1, 1]); // ABBB (B~C collided)
+        let refined = p1.refine(&p2);
+        assert_eq!(refined.to_string(), "ABCC");
+    }
+
+    #[test]
+    fn refine_is_idempotent_and_commutative() {
+        let a = Pattern::of(&[0, 1, 0, 2]);
+        let b = Pattern::of(&[0, 0, 1, 1]);
+        assert_eq!(a.refine(&a), a);
+        assert_eq!(a.refine(&b), b.refine(&a));
+    }
+
+    #[test]
+    fn refine_all_over_many() {
+        let ps = vec![
+            Pattern::of(&[0, 0, 0, 0]),
+            Pattern::of(&[0, 1, 1, 1]),
+            Pattern::of(&[0, 0, 1, 1]),
+        ];
+        let r = Pattern::refine_all(&ps).unwrap();
+        assert_eq!(r.to_string(), "ABCC");
+        assert!(Pattern::refine_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn refined_is_coarsening_of_nothing_it_should_not_be() {
+        // Refinement of measurements stays a coarsening of the truth.
+        let truth = Pattern::of(&[0, 1, 2, 2, 2]);
+        let m1 = Pattern::of(&[0, 1, 1, 1, 1]);
+        let m2 = Pattern::of(&[0, 0, 1, 1, 1]);
+        let refined = m1.refine(&m2);
+        assert!(refined.is_coarsening_of(&truth));
+    }
+
+    #[test]
+    #[should_panic(expected = "different length")]
+    fn refine_length_mismatch_panics() {
+        let _ = Pattern::of(&[0, 1]).refine(&Pattern::of(&[0, 1, 2]));
+    }
+}

@@ -1,0 +1,123 @@
+//! Probe image construction (paper §5, §6.1).
+//!
+//! The attacker feeds crafted images through the device's input path. To
+//! expose the boundary effect along one axis while staying insensitive to
+//! the other, a probe is a **vertical stripe**: column `t` carries a
+//! per-channel random value (possibly negative, to defeat bias/batch-norm
+//! masking via ReLU — §5.2), all other pixels are zero. Sweeping `t` from
+//! the left edge produces the shift family whose responses form the
+//! `ABCC…` patterns.
+
+use hd_tensor::{Shape3, Tensor3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One independent random probe: a set of per-shift images.
+#[derive(Clone, Debug)]
+pub struct ProbeFamily {
+    /// `images[t]` carries the stripe at column `t`.
+    pub images: Vec<Tensor3>,
+    /// The per-`(channel, row)` stripe amplitudes used (`c * h` values).
+    pub amplitudes: Vec<f32>,
+}
+
+/// Generates `count` independent probe families for the given input shape,
+/// each sweeping the stripe over `shifts` columns.
+///
+/// Amplitudes vary per channel *and* per row — every image row is then an
+/// independent 1-D probe of the same geometry, which multiplies the chance
+/// that at least one row's boundary response changes the total nnz.
+/// Values are half-Gaussian with random sign (the paper's §5.2 random
+/// probes), bounded away from zero so the stripe never vanishes.
+///
+/// # Panics
+///
+/// Panics if `shifts` exceeds the input width.
+pub fn stripe_probes(shape: Shape3, shifts: usize, count: usize, seed: u64) -> Vec<ProbeFamily> {
+    assert!(
+        shifts <= shape.w,
+        "cannot sweep {shifts} shifts over width {}",
+        shape.w
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let amplitudes: Vec<f32> = (0..shape.c * shape.h)
+                .map(|_| {
+                    let mag = 0.25 + hd_tensor::tensor::gaussian(&mut rng).abs();
+                    if rng.gen_bool(0.5) {
+                        mag
+                    } else {
+                        -mag
+                    }
+                })
+                .collect();
+            let images = (0..shifts)
+                .map(|t| {
+                    let mut img = Tensor3::zeros(shape.c, shape.h, shape.w);
+                    for c in 0..shape.c {
+                        for y in 0..shape.h {
+                            img.set(c, y, t, amplitudes[c * shape.h + y]);
+                        }
+                    }
+                    img
+                })
+                .collect();
+            ProbeFamily { images, amplitudes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_structure() {
+        let fams = stripe_probes(Shape3::new(3, 8, 8), 4, 2, 7);
+        assert_eq!(fams.len(), 2);
+        for fam in &fams {
+            assert_eq!(fam.images.len(), 4);
+            for (t, img) in fam.images.iter().enumerate() {
+                // Exactly one non-zero column.
+                assert_eq!(img.nnz(), 3 * 8, "shift {t}");
+                for c in 0..3 {
+                    for y in 0..8 {
+                        assert_eq!(img.at(c, y, t), fam.amplitudes[c * 8 + y]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amplitudes_are_bounded_away_from_zero() {
+        let fams = stripe_probes(Shape3::new(3, 4, 16), 8, 16, 3);
+        for fam in &fams {
+            for &a in &fam.amplitudes {
+                assert!(a.abs() >= 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn both_signs_occur() {
+        let fams = stripe_probes(Shape3::new(1, 2, 8), 1, 64, 11);
+        let pos = fams.iter().filter(|f| f.amplitudes[0] > 0.0).count();
+        assert!(pos > 8 && pos < 56, "sign balance off: {pos}/64");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = stripe_probes(Shape3::new(2, 4, 8), 3, 2, 5);
+        let b = stripe_probes(Shape3::new(2, 4, 8), 3, 2, 5);
+        assert_eq!(a[0].amplitudes, b[0].amplitudes);
+        assert_eq!(a[1].images[2], b[1].images[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sweep")]
+    fn too_many_shifts_panics() {
+        let _ = stripe_probes(Shape3::new(1, 4, 4), 5, 1, 0);
+    }
+}

@@ -1,0 +1,867 @@
+//! The HuffDuff probing attack (paper Algorithm 1).
+//!
+//! For each layer observed in the DRAM trace, the prober:
+//!
+//! 1. collects the layer's output transfer volume for every probe shift —
+//!    volume equality is nnz equality, because the codec is monotone in nnz,
+//! 2. refines the measured [`Pattern`] across independent random probes
+//!    (one-sided errors only merge classes, never split them — §5.4),
+//! 3. asks the [`crate::symbolic`] engine for the pattern each geometry hypothesis
+//!    would produce on the recovered prefix network, and keeps hypotheses
+//!    whose pattern the measurement coarsens,
+//! 4. extends the symbolic prefix with the selected geometry and moves on.
+//!
+//! Channel counts are invisible to the boundary effect (§6.4); they come
+//! from the timing channel in [`crate::timing`].
+
+use crate::pattern::Pattern;
+use crate::probe::stripe_probes;
+use crate::symbolic::{
+    multiset_signature, sym_add, ConvHypothesis, Sym, SymConvLayer, SymPoolLayer, VarSource,
+};
+use hd_accel::{Device, Trace};
+use hd_tensor::conv::{conv_out_dim, Padding};
+use hd_tensor::{Shape3, Tensor3};
+use hd_trace::{analyze, TensorId, TraceAnalysis};
+use std::fmt;
+
+/// Anything the attacker can feed images to while watching the bus.
+pub trait ProbeTarget {
+    /// The (publicly known) input shape.
+    fn input_shape(&self) -> Shape3;
+    /// Runs one inference, returning the observed bus trace.
+    fn run_probe(&self, image: &Tensor3) -> Trace;
+}
+
+impl ProbeTarget for Device {
+    fn input_shape(&self) -> Shape3 {
+        Device::input_shape(self)
+    }
+
+    fn run_probe(&self, image: &Tensor3) -> Trace {
+        self.run(image)
+    }
+}
+
+/// Recovered geometry class of one observed layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution with recovered kernel size and stride.
+    Conv {
+        /// Symmetric kernel size `R = S`.
+        kernel: usize,
+        /// Symmetric stride.
+        stride: usize,
+    },
+    /// Spatial pooling with recovered factor.
+    Pool {
+        /// Window == stride.
+        factor: usize,
+    },
+    /// Elementwise residual join.
+    Add,
+    /// Global spatial pooling (weightless, no finite pooling factor fits).
+    GlobalPool,
+    /// Fully connected head layer (boundary effect absent).
+    Dense,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv { kernel, stride } => write!(f, "conv {kernel}x{kernel}/{stride}"),
+            LayerKind::Pool { factor } => write!(f, "pool /{factor}"),
+            LayerKind::Add => write!(f, "add"),
+            LayerKind::GlobalPool => write!(f, "global-pool"),
+            LayerKind::Dense => write!(f, "dense"),
+        }
+    }
+}
+
+/// One recovered layer.
+#[derive(Clone, Debug)]
+pub struct RecoveredLayer {
+    /// Execution index (matches [`hd_trace::LayerObs::index`]).
+    pub index: usize,
+    /// Observed input tensor ids.
+    pub inputs: Vec<TensorId>,
+    /// Recovered geometry (point estimate).
+    pub kind: LayerKind,
+    /// Other geometries equally consistent with every observation. Deep
+    /// layers whose feature saturates the (narrow) map can be genuinely
+    /// ambiguous — the boundary-effect observable carries no more bits
+    /// there — and the point estimate then follows a common-CNN prior.
+    pub alternatives: Vec<LayerKind>,
+    /// Inferred output spatial size `(P, Q)`, if the layer produces a map.
+    pub out_hw: Option<(usize, usize)>,
+    /// The refined measured pattern (diagnostics).
+    pub pattern: Pattern,
+    /// Observed compressed weight bytes.
+    pub weight_bytes: u64,
+    /// Observed compressed output bytes (from the first probe run).
+    pub output_bytes: u64,
+    /// Observed encode window in picoseconds (from the first probe run).
+    pub encode_window_ps: u64,
+}
+
+/// Prober configuration.
+#[derive(Clone, Debug)]
+pub struct ProberConfig {
+    /// Number of stripe positions swept from the left edge.
+    pub shifts: usize,
+    /// Maximum independent random probe families.
+    pub max_probes: usize,
+    /// Stop early once the refined patterns have been stable for this many
+    /// consecutive families.
+    pub stable_probes: usize,
+    /// Candidate kernel sizes.
+    pub kernels: Vec<usize>,
+    /// Candidate strides.
+    pub strides: Vec<usize>,
+    /// Candidate pooling factors.
+    pub pools: Vec<usize>,
+    /// RNG seed (probe amplitudes + symbolic variables).
+    pub seed: u64,
+}
+
+impl Default for ProberConfig {
+    fn default() -> Self {
+        ProberConfig {
+            shifts: 24,
+            max_probes: 16,
+            stable_probes: 3,
+            kernels: vec![1, 3, 5, 7],
+            strides: vec![1, 2],
+            pools: vec![2, 3, 4],
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Prober output.
+#[derive(Clone, Debug)]
+pub struct ProberResult {
+    /// Recovered layers in execution order.
+    pub layers: Vec<RecoveredLayer>,
+    /// Probe families actually consumed before convergence.
+    pub probes_used: usize,
+    /// Device inferences performed (`probes_used * shifts`).
+    pub runs_used: usize,
+    /// Trace analysis of the first probe run (structure reference).
+    pub structure: TraceAnalysis,
+}
+
+impl ProberResult {
+    /// Indices (into `layers`) of recovered conv layers, in order.
+    pub fn conv_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l.kind, LayerKind::Conv { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Human-readable summary.
+    pub fn report(&self) -> String {
+        let mut s = format!(
+            "prober: {} layers recovered with {} probes ({} device runs)\n",
+            self.layers.len(),
+            self.probes_used,
+            self.runs_used
+        );
+        for l in &self.layers {
+            s.push_str(&format!(
+                "  layer {:>2}: {:<12} out_hw={:?} pattern={}\n",
+                l.index,
+                l.kind.to_string(),
+                l.out_hw,
+                l.pattern
+            ));
+        }
+        s
+    }
+}
+
+/// Errors from the probing attack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The bus trace could not be analyzed.
+    Trace(hd_trace::AnalyzeTraceError),
+    /// Probe runs disagreed on the number of layers (non-static victim).
+    UnstableStructure,
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::Trace(e) => write!(f, "trace analysis failed: {e}"),
+            ProbeError::UnstableStructure => {
+                write!(f, "probe runs produced inconsistent layer structures")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+impl From<hd_trace::AnalyzeTraceError> for ProbeError {
+    fn from(e: hd_trace::AnalyzeTraceError) -> Self {
+        ProbeError::Trace(e)
+    }
+}
+
+/// Runs the probing attack against a target.
+///
+/// # Errors
+///
+/// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
+/// structure varies across runs.
+pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResult, ProbeError> {
+    let shape = target.input_shape();
+    let shifts = cfg.shifts.min(shape.w);
+    let families = stripe_probes(shape, shifts, cfg.max_probes, cfg.seed);
+
+    // --- Collect measured patterns, probing until they stabilize. ---
+    let mut structure: Option<TraceAnalysis> = None;
+    let mut bytes_per_family: Vec<Vec<Vec<u64>>> = Vec::new(); // [family][shift][layer]
+    let mut refined: Vec<Pattern> = Vec::new();
+    let mut stable_for = 0usize;
+    let mut probes_used = 0usize;
+
+    for family in &families {
+        let mut bytes_this: Vec<Vec<u64>> = Vec::with_capacity(shifts);
+        for img in &family.images {
+            let analysis = analyze(&target.run_probe(img))?;
+            match &structure {
+                None => {
+                    bytes_this.push(analysis.output_bytes_per_layer());
+                    structure = Some(analysis);
+                }
+                Some(s) => {
+                    if analysis.layers.len() != s.layers.len() {
+                        return Err(ProbeError::UnstableStructure);
+                    }
+                    bytes_this.push(analysis.output_bytes_per_layer());
+                }
+            }
+        }
+        probes_used += 1;
+        bytes_per_family.push(bytes_this);
+
+        // Refine patterns layer by layer.
+        let n_layers = structure.as_ref().unwrap().layers.len();
+        let mut changed = false;
+        for l in 0..n_layers {
+            let series: Vec<u64> = bytes_per_family
+                .last()
+                .unwrap()
+                .iter()
+                .map(|per_layer| per_layer[l])
+                .collect();
+            let p = Pattern::of(&series);
+            if refined.len() <= l {
+                refined.push(p);
+                changed = true;
+            } else {
+                let r = refined[l].refine(&p);
+                if r != refined[l] {
+                    refined[l] = r;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            stable_for = 0;
+        } else {
+            stable_for += 1;
+            if stable_for >= cfg.stable_probes {
+                break;
+            }
+        }
+    }
+
+    let structure = structure.expect("at least one probe ran");
+
+    // --- Classify each layer against symbolic hypotheses. ---
+    let mut vars = VarSource::new(cfg.seed ^ 0xC0FFEE);
+    let mut tensor_rows: Vec<Option<Vec<Vec<Sym>>>> = vec![None; structure.tensors.len()];
+    let mut tensor_hw: Vec<Option<(usize, usize)>> = vec![None; structure.tensors.len()];
+    tensor_rows[0] = Some(crate::symbolic::impulse_rows(shape.w, shifts, &mut vars));
+    tensor_hw[0] = Some((shape.h, shape.w));
+
+    let n_layers = structure.layers.len();
+    // A layer is "in the trunk" while any weightless layer (pool/add/GAP)
+    // still executes after it; past the last one, weighted layers with no
+    // boundary signal are head (dense) layers.
+    let mut in_trunk = vec![false; n_layers];
+    let mut seen_weightless = false;
+    for i in (0..n_layers).rev() {
+        in_trunk[i] = seen_weightless;
+        if structure.layers[i].weight_bytes == 0 {
+            seen_weightless = true;
+        }
+    }
+
+    let mut layers: Vec<RecoveredLayer> = Vec::with_capacity(n_layers);
+    let mut confidences: Vec<Confidence> = Vec::with_capacity(n_layers);
+    for obs in &structure.layers {
+        let meas = refined[obs.index].clone();
+
+        // Residual-join consistency: both inputs of an Add must share the
+        // same spatial size. When they disagree, the lower-confidence
+        // branch's producer (typically a signal-free 1x1/2 projection) has
+        // its stride corrected to match the trusted branch, and its
+        // symbolic state is rebuilt — stopping misclassification cascades.
+        if obs.inputs.len() == 2 && obs.weight_bytes == 0 {
+            reconcile_join(
+                obs,
+                &mut layers,
+                &confidences,
+                &mut tensor_rows,
+                &mut tensor_hw,
+                &mut vars,
+            );
+        }
+
+        let input_rows: Vec<Option<&Vec<Vec<Sym>>>> = obs
+            .inputs
+            .iter()
+            .map(|&src| tensor_rows[src].as_ref())
+            .collect();
+
+        let ctx = LayerContext {
+            weight_bytes: obs.weight_bytes,
+            input_bytes: obs.input_bytes,
+            output_bytes: obs.output_bytes,
+            in_trunk: in_trunk[obs.index],
+            is_last: obs.index + 1 == n_layers,
+        };
+        let classified = classify_layer(
+            &ctx,
+            &input_rows,
+            &obs.inputs
+                .iter()
+                .map(|&src| tensor_hw[src])
+                .collect::<Vec<_>>(),
+            &meas,
+            cfg,
+            &mut vars,
+        );
+
+        tensor_rows[obs.output] = classified.rows;
+        tensor_hw[obs.output] = classified.hw;
+        confidences.push(classified.confidence);
+        layers.push(RecoveredLayer {
+            index: obs.index,
+            inputs: obs.inputs.clone(),
+            kind: classified.kind,
+            alternatives: classified.alternatives,
+            out_hw: classified.hw,
+            pattern: meas,
+            weight_bytes: obs.weight_bytes,
+            output_bytes: obs.output_bytes,
+            encode_window_ps: obs.encode_window_ps,
+        });
+    }
+
+    Ok(ProberResult {
+        layers,
+        probes_used,
+        runs_used: probes_used * shifts,
+        structure,
+    })
+}
+
+/// How strongly the observations pinned down a layer's geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    /// No boundary signal at all; a prior filled the gap.
+    Default,
+    /// Measurement consistent with, but strictly coarser than, the choice.
+    Coarse,
+    /// A hypothesis pattern matched the measurement exactly.
+    Exact,
+}
+
+struct Classified {
+    kind: LayerKind,
+    alternatives: Vec<LayerKind>,
+    rows: Option<Vec<Vec<Sym>>>,
+    hw: Option<(usize, usize)>,
+    confidence: Confidence,
+}
+
+impl Classified {
+    fn new(
+        kind: LayerKind,
+        alternatives: Vec<LayerKind>,
+        rows: Option<Vec<Vec<Sym>>>,
+        hw: Option<(usize, usize)>,
+        confidence: Confidence,
+    ) -> Self {
+        Classified {
+            kind,
+            alternatives,
+            rows,
+            hw,
+            confidence,
+        }
+    }
+}
+
+/// Observation context for one layer's classification.
+struct LayerContext {
+    weight_bytes: u64,
+    input_bytes: u64,
+    output_bytes: u64,
+    /// Whether any weightless layer (pool/add/GAP) executes later — i.e.
+    /// this layer still sits inside the convolutional trunk.
+    in_trunk: bool,
+    /// Whether this is the final observed layer (the classifier position).
+    is_last: bool,
+}
+
+/// Repairs a residual join whose two input branches disagree on spatial
+/// size: the producer of the less-trusted branch gets its stride replaced
+/// so its output matches the trusted branch, and its symbolic rows are
+/// rebuilt with the corrected geometry.
+fn reconcile_join(
+    obs: &hd_trace::LayerObs,
+    layers: &mut [RecoveredLayer],
+    confidences: &[Confidence],
+    tensor_rows: &mut [Option<Vec<Vec<Sym>>>],
+    tensor_hw: &mut [Option<(usize, usize)>],
+    vars: &mut VarSource,
+) {
+    let (ta, tb) = (obs.inputs[0], obs.inputs[1]);
+    let (Some(hwa), Some(hwb)) = (tensor_hw[ta], tensor_hw[tb]) else {
+        return;
+    };
+    if hwa == hwb {
+        return;
+    }
+    // Producer layer of tensor t is layer t-1 (the network input, tensor 0,
+    // has no producer and is never the wrong branch to fix).
+    let conf_of = |t: TensorId| -> Confidence {
+        if t == 0 {
+            Confidence::Exact
+        } else {
+            confidences.get(t - 1).copied().unwrap_or(Confidence::Default)
+        }
+    };
+    let (fix_tensor, target_hw) = if conf_of(ta) >= conf_of(tb) {
+        (tb, hwa)
+    } else {
+        (ta, hwb)
+    };
+    if fix_tensor == 0 {
+        return;
+    }
+    let producer = fix_tensor - 1;
+    let LayerKind::Conv { kernel, .. } = layers[producer].kind else {
+        return;
+    };
+    let src = layers[producer].inputs[0];
+    let Some((_, src_w)) = tensor_hw[src] else { return };
+    if target_hw.1 == 0 || src_w < target_hw.1 {
+        return;
+    }
+    let stride = (src_w as f64 / target_hw.1 as f64).round().max(1.0) as usize;
+    let hyp = ConvHypothesis { kernel, stride };
+    let layer = SymConvLayer::new(hyp, vars);
+    let new_rows = tensor_rows[src]
+        .as_ref()
+        .map(|rows| rows.iter().map(|r| layer.apply(r)).collect::<Vec<_>>());
+    tensor_rows[fix_tensor] = new_rows;
+    tensor_hw[fix_tensor] = Some(target_hw);
+    layers[producer].kind = LayerKind::Conv {
+        kernel: hyp.kernel,
+        stride: hyp.stride,
+    };
+    layers[producer].out_hw = Some(target_hw);
+}
+
+fn classify_layer(
+    ctx: &LayerContext,
+    input_rows: &[Option<&Vec<Vec<Sym>>>],
+    input_hw: &[Option<(usize, usize)>],
+    meas: &Pattern,
+    cfg: &ProberConfig,
+    vars: &mut VarSource,
+) -> Classified {
+    // Residual join: two inputs.
+    if input_rows.len() == 2 {
+        if let (Some(a), Some(b)) = (input_rows[0], input_rows[1]) {
+            // A length mismatch means one branch's stride was misjudged;
+            // degrade gracefully (layers downstream of the join are then
+            // classified without a symbolic prefix).
+            if a.len() == b.len() && a.iter().zip(b).all(|(ra, rb)| ra.len() == rb.len()) {
+                let rows: Vec<Vec<Sym>> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(ra, rb)| sym_add(ra, rb))
+                    .collect();
+                return Classified::new(
+                    LayerKind::Add,
+                    Vec::new(),
+                    Some(rows),
+                    input_hw[0],
+                    Confidence::Exact,
+                );
+            }
+        }
+        return Classified::new(LayerKind::Add, Vec::new(), None, input_hw[0], Confidence::Coarse);
+    }
+
+    let Some(rows) = input_rows.first().copied().flatten() else {
+        // Upstream geometry already lost (past the head).
+        return Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Default);
+    };
+    let hw = input_hw[0];
+
+    if ctx.weight_bytes == 0 {
+        // Pooling (or global pooling, which matches no finite factor).
+        // A factor-f pool shrinks the transfer volume by at most ~f^2
+        // (modulo density changes); global pooling collapses it entirely,
+        // so a volume sanity check separates the two even when the tiny
+        // pooled output's nnz saturates (pattern all-equal).
+        let mut accepted: Vec<(usize, Pattern, SymPoolLayer)> = Vec::new();
+        for &factor in &cfg.pools {
+            // Max pooling can only shrink the encoded volume by at most
+            // f^2: the bitmap shrinks by exactly f^2 and each output cell
+            // is non-zero iff its window holds any non-zero, so
+            // out * f^2 >= in (up to byte rounding). Global pooling
+            // collapses far below that; 1.5x slack absorbs the rounding.
+            let volume_ok = ctx
+                .output_bytes
+                .saturating_mul((factor * factor * 3) as u64)
+                >= ctx.input_bytes.saturating_mul(2);
+            if !volume_ok {
+                continue;
+            }
+            let layer = SymPoolLayer::new(factor, vars);
+            let hyp = hypothesis_pattern(rows, |r| layer.apply(r));
+            if meas.is_coarsening_of(&hyp) {
+                accepted.push((factor, hyp, layer));
+            }
+        }
+        let alternatives: Vec<LayerKind> = accepted
+            .iter()
+            .map(|(f, _, _)| LayerKind::Pool { factor: *f })
+            .collect();
+        if let Some((factor, pat, layer)) = pick_pool(accepted, meas) {
+            let out_rows: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+            let out_hw = hw.map(|(h, w)| (h / factor, w / factor));
+            let confidence = if &pat == meas {
+                Confidence::Exact
+            } else {
+                Confidence::Coarse
+            };
+            return Classified::new(
+                LayerKind::Pool { factor },
+                alternatives,
+                Some(out_rows),
+                out_hw,
+                confidence,
+            );
+        }
+        // No finite pooling factor explains the measurement: global pooling
+        // (geometry recovery stops along this path — spatial info is gone).
+        return Classified::new(LayerKind::GlobalPool, Vec::new(), None, None, Confidence::Coarse);
+    }
+
+    // Head fully-connected layers destroy all spatial structure: their
+    // patterns either saturate flat (tiny logit nnz) or never converge at
+    // all. A never-converging pattern is also what a *saturated-depth*
+    // conv produces, so position disambiguates: past the last weightless
+    // layer (pool/add/GAP) a structureless pattern means a dense layer.
+    if !ctx.in_trunk
+        && !ctx.is_last
+        && !meas.is_empty()
+        && meas.class_count() == meas.len()
+        && meas.len() >= 4
+    {
+        return Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Coarse);
+    }
+
+    // Weighted layer: convolution hypotheses.
+    let mut accepted: Vec<(ConvHypothesis, Pattern, SymConvLayer)> = Vec::new();
+    for &kernel in &cfg.kernels {
+        for &stride in &cfg.strides {
+            let hyp = ConvHypothesis { kernel, stride };
+            let layer = SymConvLayer::new(hyp, vars);
+            let pat = hypothesis_pattern(rows, |r| layer.apply(r));
+            if meas.is_coarsening_of(&pat) {
+                accepted.push((hyp, pat, layer));
+            }
+        }
+    }
+
+    // Hypotheses whose predicted pattern equals the measurement exactly
+    // (the §5.4 "longest non-convergent pattern" rule).
+    let mut exact: Vec<(ConvHypothesis, SymConvLayer)> = Vec::new();
+    let mut rest: Vec<(ConvHypothesis, Pattern, SymConvLayer)> = Vec::new();
+    for (h, p, l) in accepted {
+        if &p == meas {
+            exact.push((h, l));
+        } else {
+            rest.push((h, p, l));
+        }
+    }
+
+    let make_conv = |hyp: ConvHypothesis,
+                     layer: &SymConvLayer,
+                     alternatives: Vec<LayerKind>,
+                     confidence: Confidence|
+     -> Classified {
+        let out_rows: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+        let out_hw = hw.map(|(h, w)| {
+            (
+                conv_out_dim(h, hyp.kernel, hyp.stride, Padding::Same),
+                conv_out_dim(w, hyp.kernel, hyp.stride, Padding::Same),
+            )
+        });
+        Classified::new(
+            LayerKind::Conv {
+                kernel: hyp.kernel,
+                stride: hyp.stride,
+            },
+            alternatives,
+            Some(out_rows),
+            out_hw,
+            confidence,
+        )
+    };
+
+    if !exact.is_empty() {
+        // Several geometries can predict the same (saturated) pattern at
+        // narrow deep maps; the observable carries no more bits, so break
+        // ties with a common-CNN prior (3x3/1 first).
+        let alternatives: Vec<LayerKind> = exact
+            .iter()
+            .map(|(h, _)| LayerKind::Conv {
+                kernel: h.kernel,
+                stride: h.stride,
+            })
+            .collect();
+        exact.sort_by_key(|(h, _)| prior_rank(*h));
+        let multiple = exact.len() > 1;
+        let (hyp, layer) = exact.remove(0);
+        let confidence = if multiple {
+            Confidence::Coarse
+        } else {
+            Confidence::Exact
+        };
+        return make_conv(hyp, &layer, alternatives, confidence);
+    }
+
+    if meas.class_count() <= 1 {
+        // The layer's nnz never reacted to any probe: no boundary signal at
+        // all. Inside the conv trunk (weightless layers still downstream)
+        // the prior says "3x3 conv"; in the head it is a dense layer.
+        if ctx.in_trunk {
+            let kernel = if cfg.kernels.contains(&3) {
+                3
+            } else {
+                cfg.kernels.first().copied().unwrap_or(3)
+            };
+            let hyp = ConvHypothesis { kernel, stride: 1 };
+            let layer = SymConvLayer::new(hyp, vars);
+            let alternatives = cfg
+                .kernels
+                .iter()
+                .flat_map(|&k| {
+                    cfg.strides
+                        .iter()
+                        .map(move |&s| LayerKind::Conv { kernel: k, stride: s })
+                })
+                .collect();
+            return make_conv(hyp, &layer, alternatives, Confidence::Default);
+        }
+        return Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Default);
+    }
+
+    if !rest.is_empty() {
+        // The measurement carries signal but is strictly coarser than every
+        // surviving hypothesis: keep the most conservative one.
+        let alternatives: Vec<LayerKind> = rest
+            .iter()
+            .map(|(h, _, _)| LayerKind::Conv {
+                kernel: h.kernel,
+                stride: h.stride,
+            })
+            .collect();
+        rest.sort_by_key(|(h, p, _)| (p.class_count(), prior_rank(*h)));
+        let (hyp, _, layer) = rest.remove(0);
+        return make_conv(hyp, &layer, alternatives, Confidence::Coarse);
+    }
+
+    // No convolution geometry survives: fully connected head layer.
+    Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Coarse)
+}
+
+/// Common-CNN prior ordering over conv hypotheses: 3x3/1 first, then the
+/// remaining stride-1 kernels small-to-large, then stride-2 variants.
+fn prior_rank(h: ConvHypothesis) -> (usize, usize, usize) {
+    let preferred = usize::from(!(h.kernel == 3 && h.stride == 1));
+    (preferred, h.stride, h.kernel)
+}
+
+fn hypothesis_pattern<F: Fn(&[Sym]) -> Vec<Sym>>(rows: &[Vec<Sym>], f: F) -> Pattern {
+    let sigs: Vec<Vec<Sym>> = rows.iter().map(|r| multiset_signature(&f(r))).collect();
+    Pattern::of(&sigs)
+}
+
+fn pick_pool(
+    mut accepted: Vec<(usize, Pattern, SymPoolLayer)>,
+    meas: &Pattern,
+) -> Option<(usize, Pattern, SymPoolLayer)> {
+    if accepted.is_empty() {
+        return None;
+    }
+    accepted.sort_by_key(|(f, _, _)| *f);
+    if let Some(pos) = accepted.iter().position(|(_, p, _)| p == meas) {
+        return Some(accepted.swap_remove(pos));
+    }
+    accepted.sort_by_key(|(f, p, _)| (p.class_count(), *f));
+    Some(accepted.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_accel::AccelConfig;
+    use hd_dnn::graph::{NetworkBuilder, Params};
+
+    fn device_for(net: hd_dnn::graph::Network, seed: u64) -> Device {
+        let mut params = Params::init(&net, seed);
+        let profile = hd_dnn::prune::paper_profile(&net);
+        hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, seed ^ 1);
+        Device::new(net, params, AccelConfig::eyeriss_v2())
+    }
+
+    fn small_cfg() -> ProberConfig {
+        ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            kernels: vec![1, 3, 5, 7],
+            strides: vec![1, 2],
+            pools: vec![2, 3],
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn recovers_single_conv_kernel() {
+        for kernel in [3usize, 5] {
+            let mut b = NetworkBuilder::new(3, 16, 16);
+            let x = b.input();
+            b.conv(x, 8, kernel, 1);
+            let dev = device_for(b.build(), 5);
+            let res = probe(&dev, &small_cfg()).unwrap();
+            assert_eq!(res.layers.len(), 1);
+            assert_eq!(
+                res.layers[0].kind,
+                LayerKind::Conv { kernel, stride: 1 },
+                "kernel {kernel}: pattern {}",
+                res.layers[0].pattern
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_pointwise_conv_when_not_last() {
+        // A lone pointwise conv as the final layer is indistinguishable
+        // from a classifier head (both show no boundary effect), so test
+        // the 1x1 case with a conv after it.
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 1, 1);
+        b.conv(x, 8, 3, 1);
+        let dev = device_for(b.build(), 5);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 1, stride: 1 });
+        assert_eq!(res.layers[1].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+    }
+
+    #[test]
+    fn recovers_stride_two() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        b.conv(x, 8, 3, 2);
+        let dev = device_for(b.build(), 6);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 2 });
+        assert_eq!(res.layers[0].out_hw, Some((8, 8)));
+    }
+
+    #[test]
+    fn recovers_conv_pool_conv_chain() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, 8, 5, 1);
+        let dev = device_for(b.build(), 7);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert_eq!(res.layers.len(), 3);
+        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(res.layers[1].kind, LayerKind::Pool { factor: 2 });
+        assert_eq!(res.layers[2].kind, LayerKind::Conv { kernel: 5, stride: 1 });
+        assert_eq!(res.layers[2].out_hw, Some((8, 8)));
+    }
+
+    #[test]
+    fn classifies_head_as_dense() {
+        let mut b = NetworkBuilder::new(3, 12, 12);
+        let x = b.input();
+        let x = b.conv(x, 6, 3, 1);
+        let x = b.flatten(x);
+        b.linear(x, 5);
+        let dev = device_for(b.build(), 8);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert_eq!(res.layers.len(), 2);
+        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(res.layers[1].kind, LayerKind::Dense);
+    }
+
+    #[test]
+    fn recovers_residual_block() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let stem = b.conv(x, 6, 3, 1);
+        let y = b.conv(stem, 6, 3, 1);
+        b.add(stem, y);
+        let dev = device_for(b.build(), 9);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert_eq!(res.layers.len(), 3);
+        assert_eq!(res.layers[2].kind, LayerKind::Add);
+        assert_eq!(res.layers[2].inputs.len(), 2);
+    }
+
+    #[test]
+    fn probes_converge_before_max() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        b.conv(x, 8, 3, 1);
+        let dev = device_for(b.build(), 10);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        assert!(res.probes_used <= 8);
+        assert_eq!(res.runs_used, res.probes_used * 12);
+    }
+
+    #[test]
+    fn report_mentions_each_layer() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.max_pool(x, 2);
+        let dev = device_for(b.build(), 11);
+        let res = probe(&dev, &small_cfg()).unwrap();
+        let r = res.report();
+        assert!(r.contains("conv 3x3/1"));
+        assert!(r.contains("pool /2"));
+    }
+}

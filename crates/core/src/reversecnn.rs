@@ -1,0 +1,408 @@
+//! The ReverseCNN baseline (paper §3) and its naive sparse extension (§4).
+//!
+//! ReverseCNN attacks a **dense** accelerator: every transfer volume equals
+//! the tensor's element count, so the constraint equations (Eqs. 1–6) have
+//! few integer solutions. Against a **sparse** accelerator the equalities
+//! decay to inequalities (Eqs. 8–10) and the solution count explodes — the
+//! motivation for HuffDuff (Table 1).
+
+use hd_num::LogCount;
+use hd_trace::TraceAnalysis;
+use std::fmt;
+
+/// Hyperparameter candidates considered for each layer.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Candidate kernel sizes (`r = s`).
+    pub kernels: Vec<usize>,
+    /// Candidate strides.
+    pub strides: Vec<usize>,
+    /// Candidate pooling factors.
+    pub pools: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            kernels: vec![1, 3, 5, 7, 11],
+            strides: vec![1, 2],
+            pools: vec![2, 3, 4],
+        }
+    }
+}
+
+/// One per-layer solution of the dense constraint system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DenseLayerSolution {
+    /// Kernel size (0 for a pool layer).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Pooling factor (1 = none).
+    pub pool: usize,
+    /// Output channels.
+    pub k: usize,
+}
+
+/// Result of the dense ReverseCNN attack.
+#[derive(Clone, Debug)]
+pub struct DenseResult {
+    /// Per-layer candidate solutions.
+    pub per_layer: Vec<Vec<DenseLayerSolution>>,
+    /// Total solution count (product over layers).
+    pub total: LogCount,
+}
+
+impl DenseResult {
+    /// Whether every layer has at least one solution.
+    pub fn solved(&self) -> bool {
+        self.per_layer.iter().all(|l| !l.is_empty())
+    }
+}
+
+impl fmt::Display for DenseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dense solutions over {} layers", self.total, self.per_layer.len())
+    }
+}
+
+/// Attacker-side codec model for the dense device: transfers are raw
+/// elements at `elem_bits`, plus the per-channel parameter sideband.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseCodec {
+    /// Activation/weight element width in bits.
+    pub elem_bits: u32,
+    /// Sideband bytes per output channel (bias + BN).
+    pub sideband_bytes_per_channel: u64,
+}
+
+impl Default for DenseCodec {
+    fn default() -> Self {
+        DenseCodec {
+            elem_bits: 8,
+            sideband_bytes_per_channel: 8,
+        }
+    }
+}
+
+/// Runs the ReverseCNN constraint solver on the trace analysis of a
+/// **dense** (non-compressing) device run.
+///
+/// Layer recursion follows Eq. 7: the input geometry of layer `l+1` is the
+/// output geometry of layer `l`; the solver carries every surviving
+/// `(x, y, c)` hypothesis forward.
+pub fn reverse_cnn_dense(
+    analysis: &TraceAnalysis,
+    input: (usize, usize, usize),
+    space: &SearchSpace,
+    codec: &DenseCodec,
+) -> DenseResult {
+    let bytes_per_elem = codec.elem_bits as f64 / 8.0;
+    // Geometry hypotheses (x, y, c) per *tensor*, following the recovered
+    // dataflow graph (tensor 0 is the network input; tensor l+1 is written
+    // by layer l).
+    let mut tensor_geoms: Vec<Vec<(usize, usize, usize)>> =
+        vec![Vec::new(); analysis.tensors.len()];
+    tensor_geoms[0] = vec![input];
+    let mut per_layer = Vec::new();
+    let mut total = LogCount::one();
+
+    for layer in &analysis.layers {
+        let o_elems = (layer.output_bytes as f64 / bytes_per_elem).round() as usize;
+        let mut solutions: Vec<DenseLayerSolution> = Vec::new();
+        let mut out_geoms: Vec<(usize, usize, usize)> = Vec::new();
+        let geoms = layer
+            .inputs
+            .first()
+            .map(|&t| tensor_geoms[t].clone())
+            .unwrap_or_default();
+
+        for &(x, y, c) in &geoms {
+            if layer.weight_bytes == 0 {
+                // Pool-like layer: find factors with x/f * y/f * c == O.
+                for &f in &space.pools {
+                    if x / f == 0 || y / f == 0 {
+                        continue;
+                    }
+                    if (x / f) * (y / f) * c == o_elems {
+                        let sol = DenseLayerSolution {
+                            kernel: 0,
+                            stride: 1,
+                            pool: f,
+                            k: c,
+                        };
+                        if !solutions.contains(&sol) {
+                            solutions.push(sol);
+                        }
+                        push_unique(&mut out_geoms, (x / f, y / f, c));
+                    }
+                }
+                // Identity-size weightless layer (residual add): geometry
+                // passes through unchanged.
+                if o_elems == x * y * c {
+                    let sol = DenseLayerSolution {
+                        kernel: 0,
+                        stride: 1,
+                        pool: 1,
+                        k: c,
+                    };
+                    if !solutions.contains(&sol) {
+                        solutions.push(sol);
+                    }
+                    push_unique(&mut out_geoms, (x, y, c));
+                }
+                // Global pooling: output == c.
+                if o_elems == c {
+                    let sol = DenseLayerSolution {
+                        kernel: 0,
+                        stride: 1,
+                        pool: x.max(1),
+                        k: c,
+                    };
+                    if !solutions.contains(&sol) {
+                        solutions.push(sol);
+                    }
+                    push_unique(&mut out_geoms, (1, 1, c));
+                }
+                continue;
+            }
+
+            // Weighted layer: conv hypotheses (Eqs. 2–5 with same padding),
+            // plus a fully-connected fallback.
+            for &r in &space.kernels {
+                for &s in &space.strides {
+                    let p = x.div_ceil(s);
+                    let q = y.div_ceil(s);
+                    if p == 0 || q == 0 || !o_elems.is_multiple_of(p * q) {
+                        continue;
+                    }
+                    let k = o_elems / (p * q);
+                    if k == 0 {
+                        continue;
+                    }
+                    // Eq. 3 with the sideband: W = r*r*c*k*elem + sideband*k.
+                    let expect_w = (r * r * c * k) as f64 * bytes_per_elem
+                        + (codec.sideband_bytes_per_channel * k as u64) as f64;
+                    if (expect_w - layer.weight_bytes as f64).abs() <= 8.0 {
+                        let sol = DenseLayerSolution {
+                            kernel: r,
+                            stride: s,
+                            pool: 1,
+                            k,
+                        };
+                        if !solutions.contains(&sol) {
+                            solutions.push(sol);
+                        }
+                        push_unique(&mut out_geoms, (p, q, k));
+                    }
+                }
+            }
+            // Fully connected: W = in*out*elem + bias bytes, with out = O.
+            let expect_fc = (x * y * c * o_elems) as f64 * bytes_per_elem + o_elems as f64 * 4.0;
+            if (expect_fc - layer.weight_bytes as f64).abs() <= 8.0 {
+                let sol = DenseLayerSolution {
+                    kernel: 0,
+                    stride: 0,
+                    pool: 1,
+                    k: o_elems,
+                };
+                if !solutions.contains(&sol) {
+                    solutions.push(sol);
+                }
+                push_unique(&mut out_geoms, (1, 1, o_elems));
+            }
+        }
+
+        total.mul_count(solutions.len() as u64);
+        per_layer.push(solutions);
+        if out_geoms.is_empty() {
+            // Dead end: carry the input geometries so later layers still
+            // report something.
+            out_geoms = geoms;
+        }
+        tensor_geoms[layer.output] = out_geoms;
+    }
+
+    DenseResult { per_layer, total }
+}
+
+fn push_unique(v: &mut Vec<(usize, usize, usize)>, g: (usize, usize, usize)) {
+    if !v.contains(&g) {
+        v.push(g);
+    }
+}
+
+/// Naive sparse solution-space size (paper §4.2): per weighted layer, count
+/// `(r, stride, k)` triples admitted by the inequality
+/// `size(W) <= r²·c·k·(elem) <= size(W) / (1 - alpha)` with a global
+/// sparsity cap `alpha` — the approach HuffDuff renders unnecessary.
+///
+/// `c` per layer is taken from the victim's nominal channel sequence
+/// (a *lower bound* on the true space, which also has `c` unknown).
+pub fn naive_sparse_count(
+    weight_bytes: &[u64],
+    in_channels: &[usize],
+    space: &SearchSpace,
+    alpha: f64,
+    elem_bits: u32,
+) -> LogCount {
+    assert_eq!(
+        weight_bytes.len(),
+        in_channels.len(),
+        "one channel count per layer required"
+    );
+    let bytes_per_elem = elem_bits as f64 / 8.0;
+    let mut total = LogCount::one();
+    for (&wb, &c) in weight_bytes.iter().zip(in_channels) {
+        let nnz = (wb as f64 / bytes_per_elem).max(1.0);
+        let mut layer_count: u64 = 0;
+        for &r in &space.kernels {
+            let denom = (r * r * c) as f64;
+            let k_min = (nnz / denom).ceil().max(1.0) as u64;
+            let k_max = (nnz / (denom * (1.0 - alpha))).floor() as u64;
+            if k_max >= k_min {
+                layer_count += (k_max - k_min + 1) * space.strides.len() as u64;
+            }
+        }
+        total.mul_count(layer_count.max(1));
+    }
+    total
+}
+
+/// Extracts **exact** per-layer output-channel counts from a trace whose
+/// device executes batch norm separately (paper §2, "Broader
+/// application"): such devices write each convolution's *dense* partial
+/// sums to DRAM, so the psum tensor's byte count equals
+/// `P*Q*K * elem_bits / 8` exactly.
+///
+/// A psum tensor is recognized attacker-side by its signature: it is
+/// written, then immediately read back *in full by the very next layer*
+/// (the BN pass), and its size never varies across probe inputs (dense).
+/// Returns `(psum-writing layer index, exact K)` for every layer whose
+/// byte count divides evenly by the provided `P*Q`.
+pub fn exact_channels_from_dense_psums(
+    analyses: &[TraceAnalysis],
+    out_hw: &[(usize, Option<(usize, usize)>)],
+    elem_bits: u32,
+) -> Vec<(usize, usize)> {
+    let Some(first) = analyses.first() else {
+        return Vec::new();
+    };
+    let mut exact = Vec::new();
+    for &(layer_idx, hw) in out_hw {
+        let Some((p, q)) = hw else { continue };
+        let Some(layer) = first.layers.get(layer_idx) else {
+            continue;
+        };
+        // Dense check: identical bytes in every probe run.
+        let constant = analyses
+            .iter()
+            .all(|a| a.layers.get(layer_idx).map(|l| l.output_bytes) == Some(layer.output_bytes));
+        if !constant {
+            continue;
+        }
+        // Consumed-in-full check: the next layer reads exactly this tensor.
+        let consumed_in_full = first
+            .layers
+            .get(layer_idx + 1)
+            .map(|next| {
+                next.inputs.contains(&layer.output) && next.input_bytes >= layer.output_bytes
+            })
+            .unwrap_or(false);
+        if !consumed_in_full {
+            continue;
+        }
+        let bits = layer.output_bytes * 8;
+        let per_k = (p * q) as u64 * elem_bits as u64;
+        if per_k == 0 || bits % per_k != 0 {
+            continue;
+        }
+        let k = (bits / per_k) as usize;
+        if k > 0 {
+            exact.push((layer_idx, k));
+        }
+    }
+    exact
+}
+
+/// GPU-hours to train-and-test every candidate, at the paper's effective
+/// rate (16 GPU-hours for 8 dense candidates = 2 h per candidate).
+pub fn gpu_hours(count: &LogCount) -> f64 {
+    2.0 * 10f64.powf(count.log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_accel::{AccelConfig, Device};
+    use hd_dnn::graph::{NetworkBuilder, Params};
+    use hd_tensor::{CompressionScheme, Tensor3};
+
+    fn dense_device(net: hd_dnn::graph::Network, seed: u64) -> Device {
+        let params = Params::init(&net, seed);
+        let cfg = AccelConfig::eyeriss_v2()
+            .with_schemes(CompressionScheme::Dense, CompressionScheme::Dense);
+        Device::new(net, params, cfg)
+    }
+
+    #[test]
+    fn dense_chain_is_solved_with_few_candidates() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, 16, 5, 1);
+        let dev = dense_device(b.build(), 3);
+        let trace = dev.run(&Tensor3::full(3, 16, 16, 0.5));
+        let analysis = hd_trace::analyze(&trace).unwrap();
+        let res = reverse_cnn_dense(
+            &analysis,
+            (16, 16, 3),
+            &SearchSpace::default(),
+            &DenseCodec::default(),
+        );
+        assert!(res.solved(), "{res}");
+        // Correct geometry is among the candidates for each layer.
+        assert!(res.per_layer[0]
+            .iter()
+            .any(|s| s.kernel == 3 && s.stride == 1 && s.k == 8));
+        assert!(res.per_layer[1].iter().any(|s| s.pool == 2));
+        assert!(res.per_layer[2]
+            .iter()
+            .any(|s| s.kernel == 5 && s.stride == 1 && s.k == 16));
+        // Dense attack yields a small space.
+        let count = res.total.to_u64().unwrap();
+        assert!((1..=64).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn sparse_count_is_astronomical() {
+        // 10 layers, each ~60k observed non-zeros at c = 256, alpha = 0.999.
+        let weight_bytes = vec![60_000u64; 10];
+        let channels = vec![256usize; 10];
+        let count = naive_sparse_count(
+            &weight_bytes,
+            &channels,
+            &SearchSpace::default(),
+            0.999,
+            8,
+        );
+        assert!(count.log10() > 30.0, "log10 = {}", count.log10());
+    }
+
+    #[test]
+    fn sparse_count_grows_with_alpha() {
+        let wb = vec![10_000u64; 5];
+        let ch = vec![64usize; 5];
+        let loose = naive_sparse_count(&wb, &ch, &SearchSpace::default(), 0.999, 8);
+        let tight = naive_sparse_count(&wb, &ch, &SearchSpace::default(), 0.9, 8);
+        assert!(loose.log10() > tight.log10());
+    }
+
+    #[test]
+    fn gpu_hours_scale() {
+        let mut c = LogCount::one();
+        c.mul_count(8);
+        assert!((gpu_hours(&c) - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,373 @@
+//! Symbolic 1-D convolution engine (paper §6.2).
+//!
+//! The engine predicts, for a hypothesized layer geometry, which probe
+//! shifts must produce *structurally equal* outputs (same value multiset —
+//! hence always the same nnz) and which are *generically distinct*.
+//!
+//! Rather than carrying algebraic expressions (whose monomial count grows
+//! as `3^depth`), expressions are evaluated over the prime field
+//! `Z_p, p = 2^61 - 1`, in [`LANES`] independent random instantiations —
+//! a Schwartz–Zippel polynomial-identity test. Two cells are structurally
+//! equal iff their residues match in every lane; false equalities occur
+//! with probability ≈ `degree / p` per lane, squared across lanes.
+//!
+//! Max pooling is not algebraic; it is modelled by a *symmetric* combiner
+//! (a random symmetric polynomial of the window), which preserves exactly
+//! the property the prober relies on: windows that are equal as multisets
+//! produce equal outputs, distinct windows produce generically distinct
+//! outputs. Any extra collisions on the measured side are the usual
+//! one-sided errors handled by probe refinement.
+
+use hd_tensor::conv::{conv_out_dim, same_pad, Padding};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of independent field instantiations (identity-test lanes).
+pub const LANES: usize = 2;
+
+/// The Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// A symbolic value: one residue per lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub [u64; LANES]);
+
+impl Sym {
+    /// The zero expression.
+    pub const ZERO: Sym = Sym([0; LANES]);
+}
+
+impl std::ops::Add for Sym {
+    type Output = Sym;
+
+    /// Lane-wise addition mod p.
+    fn add(self, rhs: Sym) -> Sym {
+        let mut out = [0u64; LANES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            *o = addm(*a, *b);
+        }
+        Sym(out)
+    }
+}
+
+impl std::ops::Mul for Sym {
+    type Output = Sym;
+
+    /// Lane-wise multiplication mod p.
+    fn mul(self, rhs: Sym) -> Sym {
+        let mut out = [0u64; LANES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            *o = mulm(*a, *b);
+        }
+        Sym(out)
+    }
+}
+
+#[inline]
+fn addm(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+#[inline]
+fn mulm(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Source of fresh formal variables (random residues per lane).
+#[derive(Clone, Debug)]
+pub struct VarSource {
+    rng: StdRng,
+}
+
+impl VarSource {
+    /// Creates a deterministic variable source.
+    pub fn new(seed: u64) -> Self {
+        VarSource {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a fresh formal variable (non-zero in every lane).
+    pub fn fresh(&mut self) -> Sym {
+        let mut out = [0u64; LANES];
+        for o in &mut out {
+            *o = self.rng.gen_range(1..P);
+        }
+        Sym(out)
+    }
+}
+
+/// A hypothesized convolution geometry for one layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvHypothesis {
+    /// Symmetric kernel size.
+    pub kernel: usize,
+    /// Symmetric stride.
+    pub stride: usize,
+}
+
+/// Symbolic weights for one hypothesized conv layer: taps + affine
+/// (bias / batch-norm) terms, all formal variables.
+#[derive(Clone, Debug)]
+pub struct SymConvLayer {
+    /// Geometry.
+    pub hyp: ConvHypothesis,
+    taps: Vec<Sym>,
+    scale: Sym,
+    shift: Sym,
+}
+
+impl SymConvLayer {
+    /// Instantiates a hypothesis with fresh formal weights.
+    pub fn new(hyp: ConvHypothesis, vars: &mut VarSource) -> Self {
+        SymConvLayer {
+            hyp,
+            taps: (0..hyp.kernel).map(|_| vars.fresh()).collect(),
+            scale: vars.fresh(),
+            shift: vars.fresh(),
+        }
+    }
+
+    /// Applies the symbolic layer to a 1-D row ("same" zero padding, the
+    /// common case; paper §9.1).
+    pub fn apply(&self, input: &[Sym]) -> Vec<Sym> {
+        let w = input.len();
+        let out_w = conv_out_dim(w, self.hyp.kernel, self.hyp.stride, Padding::Same);
+        let pad = same_pad(w, self.hyp.kernel, self.hyp.stride);
+        let mut out = Vec::with_capacity(out_w);
+        for q in 0..out_w {
+            let mut acc = Sym::ZERO;
+            for (s, &tap) in self.taps.iter().enumerate() {
+                let ix = (q * self.hyp.stride + s) as isize - pad as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue; // zero padding contributes nothing
+                }
+                acc = acc + tap * input[ix as usize];
+            }
+            // Affine (bias / batch norm): scale * conv + shift.
+            out.push(acc * self.scale + self.shift);
+        }
+        out
+    }
+}
+
+/// Symbolic pooling layer: symmetric window combiner.
+#[derive(Clone, Debug)]
+pub struct SymPoolLayer {
+    /// Pooling factor (window == stride).
+    pub factor: usize,
+    mix: Sym,
+}
+
+impl SymPoolLayer {
+    /// Instantiates a pool hypothesis.
+    pub fn new(factor: usize, vars: &mut VarSource) -> Self {
+        SymPoolLayer {
+            factor,
+            mix: vars.fresh(),
+        }
+    }
+
+    /// Applies the symmetric combiner `sum(x) + mix * sum(x^2)` per window
+    /// (injective on window multisets for generic `mix`). Trailing partial
+    /// windows are dropped, matching the victim's `ceil_mode = False`.
+    pub fn apply(&self, input: &[Sym]) -> Vec<Sym> {
+        if self.factor <= 1 {
+            return input.to_vec();
+        }
+        let out_w = input.len() / self.factor;
+        let mut out = Vec::with_capacity(out_w);
+        for q in 0..out_w {
+            let mut s1 = Sym::ZERO;
+            let mut s2 = Sym::ZERO;
+            for i in 0..self.factor {
+                let x = input[q * self.factor + i];
+                s1 = s1 + x;
+                s2 = s2 + x * x;
+            }
+            out.push(s1 + self.mix * s2);
+        }
+        out
+    }
+}
+
+/// Elementwise symbolic addition of two rows (residual join).
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+pub fn sym_add(a: &[Sym], b: &[Sym]) -> Vec<Sym> {
+    assert_eq!(a.len(), b.len(), "residual rows must have equal length");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// The multiset signature of a row: the sorted value vector. Two rows have
+/// equal signatures iff they are permutations of each other — the symbolic
+/// counterpart of "equal nnz for every generic weight assignment".
+pub fn multiset_signature(row: &[Sym]) -> Vec<Sym> {
+    let mut v = row.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Builds the 1-D probe family: for each shift `t`, a width-`w` row that is
+/// zero except for a single formal feature value at position `t`
+/// (the `A(0, 1)` pattern of §6.1; deeper layers see its images under the
+/// recovered prefix network).
+pub fn impulse_rows(w: usize, shifts: usize, vars: &mut VarSource) -> Vec<Vec<Sym>> {
+    let feature = vars.fresh(); // same feature value at every shift
+    (0..shifts)
+        .map(|t| {
+            let mut row = vec![Sym::ZERO; w];
+            if t < w {
+                row[t] = feature;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn letters(rows: &[Vec<Sym>]) -> Pattern {
+        let sigs: Vec<Vec<Sym>> = rows.iter().map(|r| multiset_signature(r)).collect();
+        Pattern::of(&sigs)
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Sym([P - 1; LANES]);
+        let b = Sym([2; LANES]);
+        assert_eq!((a + b).0[0], 1);
+        assert_eq!((a * b).0[0], P - 2); // (p-1)*2 = 2p-2 = p-2 (mod p)
+    }
+
+    #[test]
+    fn conv3_stride1_pattern_matches_fig2() {
+        // Paper Fig. 2: a 3-tap filter over impulse probes yields nnz
+        // 2, 3, 3, … — the edge shift is distinct, later shifts converge.
+        let mut vars = VarSource::new(1);
+        let rows = impulse_rows(12, 6, &mut vars);
+        let layer = SymConvLayer::new(
+            ConvHypothesis { kernel: 3, stride: 1 },
+            &mut vars,
+        );
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+        assert_eq!(letters(&out).to_string(), "ABBBBB");
+    }
+
+    #[test]
+    fn pointwise_pattern_is_all_equal() {
+        let mut vars = VarSource::new(2);
+        let rows = impulse_rows(10, 5, &mut vars);
+        let layer = SymConvLayer::new(
+            ConvHypothesis { kernel: 1, stride: 1 },
+            &mut vars,
+        );
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+        assert_eq!(letters(&out).to_string(), "AAAAA");
+    }
+
+    #[test]
+    fn conv5_has_longer_prefix_than_conv3() {
+        let mut vars = VarSource::new(3);
+        let rows = impulse_rows(16, 8, &mut vars);
+        let l3 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let l5 = SymConvLayer::new(ConvHypothesis { kernel: 5, stride: 1 }, &mut vars);
+        let p3 = letters(&rows.iter().map(|r| l3.apply(r)).collect::<Vec<_>>());
+        let p5 = letters(&rows.iter().map(|r| l5.apply(r)).collect::<Vec<_>>());
+        // A 5-tap filter loses taps at shifts 0 AND 1, a 3-tap only at 0.
+        assert_eq!(p3.to_string(), "ABBBBBBB");
+        assert_eq!(p5.to_string(), "ABCCCCCC");
+    }
+
+    #[test]
+    fn conv3_plus_pool2_pattern_is_periodic() {
+        // Paper §6.2: conv followed by 2x pooling makes the tail alternate
+        // with period 2 (pooling phase), unlike the conv-only "ABB…" tail.
+        let mut vars = VarSource::new(4);
+        let rows = impulse_rows(16, 8, &mut vars);
+        let conv = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let pool = SymPoolLayer::new(2, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| pool.apply(&conv.apply(r))).collect();
+        assert_eq!(letters(&out).to_string(), "ABCBCBCB");
+    }
+
+    #[test]
+    fn stride2_gives_period2_pattern() {
+        let mut vars = VarSource::new(5);
+        let rows = impulse_rows(16, 8, &mut vars);
+        let conv = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 2 }, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| conv.apply(r)).collect();
+        let p = letters(&out).to_string();
+        // After the edge prefix, letters alternate with period 2.
+        let tail: Vec<char> = p.chars().rev().take(4).collect();
+        assert_eq!(tail[0], tail[2], "pattern {p} lacks period 2");
+        assert_eq!(tail[1], tail[3], "pattern {p} lacks period 2");
+        assert_ne!(tail[0], tail[1], "pattern {p} should alternate");
+    }
+
+    #[test]
+    fn two_layer_stack_still_converges() {
+        // Boundary effect survives downstream layers (paper §5.3).
+        let mut vars = VarSource::new(6);
+        let rows = impulse_rows(20, 10, &mut vars);
+        let l1 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let l2 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| l2.apply(&l1.apply(r))).collect();
+        let p = letters(&out);
+        // Converges after a longer prefix (two layers of truncation).
+        let s = p.to_string();
+        let last = s.chars().last().unwrap();
+        assert!(s.ends_with(&format!("{last}{last}{last}")), "{s}");
+        // And distinguishes more edge shifts than a single 3-tap layer.
+        assert!(p.class_count() > 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mk = |seed| {
+            let mut vars = VarSource::new(seed);
+            let rows = impulse_rows(8, 4, &mut vars);
+            let l = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+            rows.iter().map(|r| l.apply(r)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn sym_add_lengths_checked() {
+        let a = vec![Sym::ZERO; 4];
+        let b = vec![Sym::ZERO; 4];
+        assert_eq!(sym_add(&a, &b).len(), 4);
+    }
+
+    #[test]
+    fn multiset_signature_is_permutation_invariant() {
+        let mut vars = VarSource::new(9);
+        let x = vars.fresh();
+        let y = vars.fresh();
+        let a = vec![x, y, Sym::ZERO];
+        let b = vec![Sym::ZERO, y, x];
+        assert_eq!(multiset_signature(&a), multiset_signature(&b));
+        let c = vec![x, x, Sym::ZERO];
+        assert_ne!(multiset_signature(&a), multiset_signature(&c));
+    }
+
+    #[test]
+    fn pool_factor_one_is_identity() {
+        let mut vars = VarSource::new(10);
+        let row: Vec<Sym> = (0..5).map(|_| vars.fresh()).collect();
+        let pool = SymPoolLayer::new(1, &mut vars);
+        assert_eq!(pool.apply(&row), row);
+    }
+}

@@ -1,0 +1,148 @@
+//! The psum-encoding timing side channel (paper §7).
+//!
+//! With the encoder GLB-bound, each layer's observable write window is
+//! proportional to its dense psum footprint `P·Q·K`. The prober already
+//! recovered `P, Q` for every conv layer, so window ratios reveal the
+//! channel-count ratios `K_l / K_1` — the one quantity the boundary effect
+//! cannot see.
+
+use crate::prober::{LayerKind, ProberResult};
+
+/// Per-layer channel-ratio estimates extracted from encode windows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelRatios {
+    /// `(layer index within ProberResult::layers, ratio K_l / K_first)` for
+    /// every conv layer, in execution order. The first entry is `1.0` by
+    /// definition.
+    pub ratios: Vec<(usize, f64)>,
+}
+
+impl ChannelRatios {
+    /// Channel counts implied by a candidate first-layer count.
+    pub fn channels_for(&self, k1: usize) -> Vec<(usize, usize)> {
+        self.ratios
+            .iter()
+            .map(|&(idx, r)| (idx, ((k1 as f64) * r).round().max(1.0) as usize))
+            .collect()
+    }
+}
+
+/// Errors extracting the timing channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingError {
+    /// No conv layer produced a usable (multi-burst) encode window.
+    NoConvLayers,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::NoConvLayers => write!(f, "no conv layers with usable encode windows"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Extracts channel ratios from the encode windows the prober observed.
+///
+/// # Errors
+///
+/// Returns [`TimingError`] when no conv layer exists or a window is
+/// unusable.
+pub fn channel_ratios(prober: &ProberResult) -> Result<ChannelRatios, TimingError> {
+    let mut ratios = Vec::new();
+    let mut first: Option<f64> = None;
+    for (i, layer) in prober.layers.iter().enumerate() {
+        let LayerKind::Conv { .. } = layer.kind else {
+            continue;
+        };
+        let Some((p, q)) = layer.out_hw else { continue };
+        if layer.encode_window_ps == 0 {
+            // Output fits in a single burst; nothing to time. The layer's
+            // channel count falls back to the candidate scale later.
+            continue;
+        }
+        // GLB-bound: window ∝ P·Q·K  =>  K ∝ window / (P·Q).
+        let per_pixel = layer.encode_window_ps as f64 / (p * q) as f64;
+        let base = *first.get_or_insert(per_pixel);
+        ratios.push((i, per_pixel / base));
+    }
+    if ratios.is_empty() {
+        return Err(TimingError::NoConvLayers);
+    }
+    Ok(ChannelRatios { ratios })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::{probe, ProberConfig};
+    use hd_accel::{AccelConfig, Device};
+    use hd_dnn::graph::{NetworkBuilder, Params};
+
+    fn cfg() -> ProberConfig {
+        ProberConfig {
+            shifts: 12,
+            max_probes: 6,
+            stable_probes: 2,
+            kernels: vec![1, 3, 5],
+            strides: vec![1, 2],
+            pools: vec![2, 3],
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn ratios_track_true_channel_counts() {
+        // conv(8) -> conv(24): expected ratio 3.0.
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.conv(x, 24, 3, 1);
+        let net = b.build();
+        let params = Params::init(&net, 3);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let res = probe(&dev, &cfg()).unwrap();
+        let ratios = channel_ratios(&res).unwrap();
+        assert_eq!(ratios.ratios.len(), 2);
+        assert!((ratios.ratios[0].1 - 1.0).abs() < 1e-9);
+        let r = ratios.ratios[1].1;
+        assert!((r - 3.0).abs() < 0.15, "ratio {r}");
+        // Implied channel counts from the true k1.
+        let ks = ratios.channels_for(8);
+        assert_eq!(ks[0].1, 8);
+        assert!((ks[1].1 as i64 - 24).abs() <= 1, "k2 {}", ks[1].1);
+    }
+
+    #[test]
+    fn ratio_correct_across_stride_change() {
+        // conv(8)/1 at 16x16 -> conv(16)/2 at 8x8: per-pixel window must
+        // normalize away the spatial difference.
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.conv(x, 16, 3, 2);
+        let net = b.build();
+        let params = Params::init(&net, 4);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let res = probe(&dev, &cfg()).unwrap();
+        let ratios = channel_ratios(&res).unwrap();
+        let r = ratios.ratios[1].1;
+        assert!((r - 2.0).abs() < 0.2, "ratio {r}");
+    }
+
+    #[test]
+    fn no_conv_layers_is_error() {
+        let empty = ProberResult {
+            layers: vec![],
+            probes_used: 0,
+            runs_used: 0,
+            structure: hd_trace::TraceAnalysis {
+                tensors: vec![],
+                layers: vec![],
+            },
+        };
+        assert_eq!(channel_ratios(&empty), Err(TimingError::NoConvLayers));
+    }
+}

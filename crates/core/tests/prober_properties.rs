@@ -1,0 +1,84 @@
+//! Property-based tests on the prober's building blocks.
+
+use huffduff_core::pattern::Pattern;
+use huffduff_core::symbolic::{
+    impulse_rows, multiset_signature, ConvHypothesis, Sym, SymConvLayer, SymPoolLayer, VarSource,
+};
+use proptest::prelude::*;
+
+fn letters(rows: &[Vec<Sym>]) -> Pattern {
+    let sigs: Vec<Vec<Sym>> = rows.iter().map(|r| multiset_signature(r)).collect();
+    Pattern::of(&sigs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Single-layer impulse patterns converge after exactly (kernel-1)/2
+    /// edge-affected shifts (same padding): the tail letters repeat.
+    #[test]
+    fn single_conv_prefix_matches_kernel(seed in 0u64..200, k_idx in 0usize..3) {
+        let kernel = [1usize, 3, 5][k_idx];
+        let mut vars = VarSource::new(seed);
+        let rows = impulse_rows(24, 8, &mut vars);
+        let layer = SymConvLayer::new(ConvHypothesis { kernel, stride: 1 }, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
+        let p = letters(&out);
+        // Prefix = number of truncated shifts; tail is constant.
+        let expected_prefix = kernel / 2;
+        let labels = p.labels();
+        for i in expected_prefix..labels.len() {
+            prop_assert_eq!(labels[i], labels[expected_prefix],
+                "kernel {} pattern {}", kernel, p);
+        }
+        prop_assert_eq!(p.class_count(), expected_prefix + 1);
+    }
+
+    /// Hypothesis patterns are deterministic given the variable source
+    /// seed, and patterns for different kernels on the same inputs differ
+    /// whenever their class counts differ.
+    #[test]
+    fn patterns_distinguish_kernel_sizes(seed in 0u64..200) {
+        let mut vars = VarSource::new(seed);
+        let rows = impulse_rows(24, 8, &mut vars);
+        let l3 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let l5 = SymConvLayer::new(ConvHypothesis { kernel: 5, stride: 1 }, &mut vars);
+        let p3 = letters(&rows.iter().map(|r| l3.apply(r)).collect::<Vec<_>>());
+        let p5 = letters(&rows.iter().map(|r| l5.apply(r)).collect::<Vec<_>>());
+        prop_assert!(p3 != p5, "3x3 {} vs 5x5 {}", p3, p5);
+        // And the smaller kernel's pattern is a coarsening of the larger's
+        // (one fewer edge distinction).
+        prop_assert!(p3.is_coarsening_of(&p5));
+    }
+
+    /// Pooling creates shift-periodicity: letters repeat with the pool
+    /// factor once past the edge prefix.
+    #[test]
+    fn pooling_periodicity(seed in 0u64..200, factor in 2usize..4) {
+        let mut vars = VarSource::new(seed);
+        let shifts = 12;
+        let rows = impulse_rows(36, shifts, &mut vars);
+        let conv = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let pool = SymPoolLayer::new(factor, &mut vars);
+        let out: Vec<Vec<Sym>> = rows.iter().map(|r| pool.apply(&conv.apply(r))).collect();
+        let labels = letters(&out).labels().to_vec();
+        // Past the first `factor + 1` shifts, labels repeat with period f.
+        for i in (factor + 1)..(shifts - factor) {
+            prop_assert_eq!(labels[i], labels[i + factor],
+                "factor {} labels {:?}", factor, labels);
+        }
+    }
+
+    /// Multiset signatures are permutation-invariant and collision-free
+    /// across genuinely different variable draws.
+    #[test]
+    fn signatures_separate_distinct_rows(seed in 0u64..500) {
+        let mut vars = VarSource::new(seed);
+        let a: Vec<Sym> = (0..6).map(|_| vars.fresh()).collect();
+        let mut b = a.clone();
+        b.reverse();
+        prop_assert_eq!(multiset_signature(&a), multiset_signature(&b));
+        let c: Vec<Sym> = (0..6).map(|_| vars.fresh()).collect();
+        prop_assert!(multiset_signature(&a) != multiset_signature(&c));
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic synthetic image-classification dataset.
+//!
+//! Stands in for CIFAR-10 (see DESIGN.md "Substitutions"): each class is a
+//! procedurally generated template — a mixture of oriented sinusoids and
+//! Gaussian blobs — and samples are noisy, randomly jittered draws from the
+//! template. The task is learnable by small CNNs yet non-trivial, which is
+//! all the retraining/transfer experiments (Figures 4–6) require.
+
+use hd_tensor::Tensor3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyntheticImages {
+    /// Number of classes.
+    pub classes: usize,
+    /// Channels (3 for RGB-like inputs).
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+    /// Per-pixel Gaussian noise amplitude.
+    pub noise: f32,
+    /// Template seed: two generators with the same seed produce the same
+    /// class templates (and therefore a consistent task).
+    pub seed: u64,
+}
+
+impl SyntheticImages {
+    /// A CIFAR-like default: 10 classes of 3x32x32 images.
+    pub fn cifar_like(seed: u64) -> Self {
+        SyntheticImages {
+            classes: 10,
+            channels: 3,
+            height: 32,
+            width: 32,
+            noise: 0.15,
+            seed,
+        }
+    }
+
+    /// A small fast variant for tests.
+    pub fn tiny(seed: u64) -> Self {
+        SyntheticImages {
+            classes: 4,
+            channels: 2,
+            height: 8,
+            width: 8,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    fn template(&self, class: usize) -> Tensor3 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut t = Tensor3::zeros(self.channels, self.height, self.width);
+        // Oriented sinusoid per channel.
+        for c in 0..self.channels {
+            let fx: f32 = rng.gen_range(0.5..3.0);
+            let fy: f32 = rng.gen_range(0.5..3.0);
+            let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let v = ((x as f32 * fx / self.width as f32
+                        + y as f32 * fy / self.height as f32)
+                        * std::f32::consts::TAU
+                        + phase)
+                        .sin();
+                    t.set(c, y, x, 0.35 + 0.2 * v);
+                }
+            }
+        }
+        // A couple of class-specific blobs.
+        for _ in 0..3 {
+            let cy: f32 = rng.gen_range(0.0..self.height as f32);
+            let cx: f32 = rng.gen_range(0.0..self.width as f32);
+            let sigma: f32 = rng.gen_range(1.5..4.0);
+            let amp: f32 = rng.gen_range(0.2..0.5);
+            let ch = rng.gen_range(0..self.channels);
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let d2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                    let v = t.at(ch, y, x) + amp * (-d2 / (2.0 * sigma * sigma)).exp();
+                    t.set(ch, y, x, v);
+                }
+            }
+        }
+        t
+    }
+
+    /// Generates one labelled sample; `sample_seed` individuates draws.
+    pub fn sample(&self, class: usize, sample_seed: u64) -> (Tensor3, usize) {
+        assert!(class < self.classes, "class out of range");
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ 0xDEAD_BEEF_CAFE_F00D
+                ^ sample_seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ (class as u64) << 48,
+        );
+        let template = self.template(class);
+        let mut img = template;
+        // Random translation jitter of up to 2 pixels.
+        let dy = rng.gen_range(-2i32..=2);
+        let dx = rng.gen_range(-2i32..=2);
+        let mut jittered = Tensor3::zeros(self.channels, self.height, self.width);
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let sy = y as i32 - dy;
+                    let sx = x as i32 - dx;
+                    if sy >= 0 && sy < self.height as i32 && sx >= 0 && sx < self.width as i32 {
+                        jittered.set(c, y, x, img.at(c, sy as usize, sx as usize));
+                    }
+                }
+            }
+        }
+        img = jittered;
+        for v in img.data_mut() {
+            *v = (*v + self.noise * hd_tensor::tensor::gaussian(&mut rng)).clamp(0.0, 1.0);
+        }
+        (img, class)
+    }
+
+    /// Generates a balanced labelled dataset of `n` samples.
+    pub fn dataset(&self, n: usize, salt: u64) -> Vec<(Tensor3, usize)> {
+        (0..n)
+            .map(|i| self.sample(i % self.classes, salt.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let gen = SyntheticImages::tiny(42);
+        let (a, _) = gen.sample(1, 7);
+        let (b, _) = gen.sample(1, 7);
+        assert_eq!(a, b);
+        let (c, _) = gen.sample(1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classes_differ() {
+        let gen = SyntheticImages::tiny(42);
+        let (a, la) = gen.sample(0, 7);
+        let (b, lb) = gen.sample(1, 7);
+        assert_ne!(a, b);
+        assert_eq!((la, lb), (0, 1));
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let gen = SyntheticImages::cifar_like(1);
+        let (img, _) = gen.sample(3, 99);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let gen = SyntheticImages::tiny(2);
+        let ds = gen.dataset(40, 0);
+        for class in 0..gen.classes {
+            assert_eq!(ds.iter().filter(|(_, y)| *y == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn task_is_learnable() {
+        use crate::graph::{NetworkBuilder, Params};
+        use crate::train::{accuracy, train, TrainConfig};
+        let gen = SyntheticImages::tiny(5);
+        let train_set = gen.dataset(48, 0);
+        let test_set = gen.dataset(24, 10_000);
+        let mut b = NetworkBuilder::new(gen.channels, gen.height, gen.width);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.flatten(x);
+        b.linear(x, gen.classes);
+        let net = b.build();
+        let mut params = Params::init(&net, 3);
+        train(
+            &net,
+            &mut params,
+            &train_set,
+            &TrainConfig {
+                epochs: 15,
+                lr: 0.01,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                lr_decay: 1.0,
+            },
+            None,
+        );
+        let acc = accuracy(&net, &params, &test_set);
+        assert!(acc > 0.5, "test accuracy {acc} too low (chance = 0.25)");
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn class_bounds_checked() {
+        let gen = SyntheticImages::tiny(1);
+        let _ = gen.sample(99, 0);
+    }
+}

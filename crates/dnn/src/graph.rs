@@ -1,0 +1,1016 @@
+//! Dataflow-graph CNN representation and forward execution.
+//!
+//! A [`Network`] is a topologically-ordered list of nodes; each node applies
+//! one [`Op`] to the outputs of earlier nodes. The representation keeps the
+//! *architectural hyperparameters* the HuffDuff attacker is trying to steal
+//! (kernel size, stride, pooling factors, channel counts, dataflow edges)
+//! explicit and queryable, so experiments can compare recovered vs. actual
+//! geometry directly.
+
+use hd_tensor::conv::{conv2d, conv_out_dim, Conv2dCfg, Padding};
+use hd_tensor::dwconv::dwconv2d;
+use hd_tensor::norm::Affine;
+use hd_tensor::pool::{global_avg_pool, pool2d, PoolKind};
+use hd_tensor::{Shape3, Tensor3, Tensor4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Index of a node within a [`Network`].
+pub type NodeId = usize;
+
+/// Hyperparameters of a convolution layer (CONV -> BatchNorm -> ReLU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Output channel count `K`.
+    pub out_channels: usize,
+    /// Symmetric kernel size `R = S`.
+    pub kernel: usize,
+    /// Symmetric stride.
+    pub stride: usize,
+    /// Padding mode ("same" zero padding is the paper's common case).
+    pub padding: Padding,
+    /// Whether an explicit additive bias is present.
+    pub bias: bool,
+    /// Whether an inference-mode batch-norm affine follows the convolution.
+    pub batch_norm: bool,
+    /// Whether a ReLU follows.
+    pub relu: bool,
+}
+
+impl ConvSpec {
+    /// The common CONV+BN+ReLU configuration.
+    pub fn standard(out_channels: usize, kernel: usize, stride: usize) -> Self {
+        ConvSpec {
+            out_channels,
+            kernel,
+            stride,
+            padding: Padding::Same,
+            bias: false,
+            batch_norm: true,
+            relu: true,
+        }
+    }
+}
+
+/// One graph operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// The network input (exactly one per network, always node 0).
+    Input,
+    /// Standard convolution (optionally + BN + ReLU).
+    Conv(ConvSpec),
+    /// Depthwise convolution (optionally + BN + ReLU).
+    DwConv {
+        /// Symmetric kernel size.
+        kernel: usize,
+        /// Symmetric stride.
+        stride: usize,
+        /// Batch-norm affine after the convolution.
+        batch_norm: bool,
+        /// ReLU after (MobileNetV2 uses linear bottlenecks, so this varies).
+        relu: bool,
+    },
+    /// Spatial pooling with symmetric non-overlapping windows.
+    Pool {
+        /// Window size == stride.
+        factor: usize,
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Elementwise residual addition of two equal-shaped maps.
+    Add {
+        /// ReLU after the join (ResNet basic blocks do this).
+        relu: bool,
+    },
+    /// Collapse each channel to its spatial mean, producing a vector.
+    GlobalAvgPool,
+    /// Reshape a map into a vector.
+    Flatten,
+    /// Fully connected layer on a vector.
+    Linear {
+        /// Output feature count.
+        out_features: usize,
+        /// ReLU after.
+        relu: bool,
+    },
+}
+
+/// A node: an op plus the ids of its inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Input node ids (earlier in the list).
+    pub inputs: Vec<NodeId>,
+}
+
+/// Shape of a node's output value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValueShape {
+    /// A `C x H x W` activation map.
+    Map(Shape3),
+    /// A flat feature vector.
+    Vector(usize),
+}
+
+impl ValueShape {
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        match self {
+            ValueShape::Map(s) => s.len(),
+            ValueShape::Vector(n) => *n,
+        }
+    }
+
+    /// Returns `true` when the value holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The map shape, if this is a map.
+    pub fn as_map(&self) -> Option<Shape3> {
+        match self {
+            ValueShape::Map(s) => Some(*s),
+            ValueShape::Vector(_) => None,
+        }
+    }
+}
+
+/// A runtime value flowing along a graph edge.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Activation map.
+    Map(Tensor3),
+    /// Feature vector.
+    Vector(Vec<f32>),
+}
+
+impl Value {
+    /// Borrows the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a vector.
+    pub fn map(&self) -> &Tensor3 {
+        match self {
+            Value::Map(t) => t,
+            Value::Vector(_) => panic!("expected activation map, found vector"),
+        }
+    }
+
+    /// Borrows the vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a map.
+    pub fn vector(&self) -> &[f32] {
+        match self {
+            Value::Vector(v) => v,
+            Value::Map(_) => panic!("expected vector, found activation map"),
+        }
+    }
+
+    /// Flat element view regardless of variant.
+    pub fn flat(&self) -> &[f32] {
+        match self {
+            Value::Map(t) => t.data(),
+            Value::Vector(v) => v,
+        }
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        hd_tensor::nnz(self.flat())
+    }
+}
+
+/// A CNN as a topologically-ordered dataflow graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    nodes: Vec<Node>,
+    input_shape: Shape3,
+    shapes: Vec<ValueShape>,
+    names: Vec<String>,
+}
+
+impl Network {
+    /// Nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes (including the input node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The network input shape.
+    pub fn input_shape(&self) -> Shape3 {
+        self.input_shape
+    }
+
+    /// Output shape of node `id`.
+    pub fn value_shape(&self, id: NodeId) -> ValueShape {
+        self.shapes[id]
+    }
+
+    /// Debug name of node `id`.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// Ids of all convolution nodes (standard + depthwise), in order.
+    pub fn conv_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Conv(_) | Op::DwConv { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of nodes that carry weights (conv, depthwise conv, linear).
+    pub fn weighted_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                matches!(n.op, Op::Conv(_) | Op::DwConv { .. } | Op::Linear { .. })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total weight element count (dense footprint).
+    pub fn dense_weight_count(&self, params: &Params) -> usize {
+        self.weighted_nodes()
+            .iter()
+            .map(|&id| match &params.layers[id] {
+                Some(LayerParams::Conv { w, .. }) => w.len(),
+                Some(LayerParams::DwConv { w, .. }) => w.len(),
+                Some(LayerParams::Linear { w, .. }) => w.len(),
+                None => 0,
+            })
+            .sum()
+    }
+
+    /// Total non-zero weight count (sparse footprint).
+    pub fn sparse_weight_count(&self, params: &Params) -> usize {
+        self.weighted_nodes()
+            .iter()
+            .map(|&id| match &params.layers[id] {
+                Some(LayerParams::Conv { w, .. }) => w.nnz(),
+                Some(LayerParams::DwConv { w, .. }) => w.nnz(),
+                Some(LayerParams::Linear { w, .. }) => hd_tensor::nnz(w),
+                None => 0,
+            })
+            .sum()
+    }
+
+    /// Runs the network, keeping every intermediate needed for backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the network's declared input
+    /// shape, or if parameters are missing for a weighted node.
+    pub fn forward(&self, params: &Params, input: &Tensor3) -> ForwardTrace {
+        assert_eq!(
+            input.shape(),
+            self.input_shape,
+            "input shape {} does not match network input {}",
+            input.shape(),
+            self.input_shape
+        );
+        let mut traces: Vec<NodeTrace> = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            let trace = match &node.op {
+                Op::Input => NodeTrace {
+                    out: Value::Map(input.clone()),
+                    pre_bn: None,
+                    pre_relu: None,
+                },
+                Op::Conv(spec) => {
+                    let x = traces[node.inputs[0]].out.map();
+                    let lp = params.conv(id);
+                    let cfg = Conv2dCfg {
+                        stride: spec.stride,
+                        padding: spec.padding,
+                    };
+                    let conv_out = conv2d(x, lp.w, lp.b.as_deref(), &cfg);
+                    let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
+                        (Some(conv_out.clone()), bn.apply(&conv_out))
+                    } else {
+                        (None, conv_out)
+                    };
+                    let (pre_relu, out) = if spec.relu {
+                        let mut o = bn_out.clone();
+                        o.relu_inplace();
+                        (Some(bn_out), o)
+                    } else {
+                        (None, bn_out)
+                    };
+                    NodeTrace {
+                        out: Value::Map(out),
+                        pre_bn,
+                        pre_relu: pre_relu.map(Value::Map),
+                    }
+                }
+                Op::DwConv {
+                    kernel: _,
+                    stride,
+                    batch_norm: _,
+                    relu,
+                } => {
+                    let x = traces[node.inputs[0]].out.map();
+                    let lp = params.dwconv(id);
+                    let cfg = Conv2dCfg {
+                        stride: *stride,
+                        padding: Padding::Same,
+                    };
+                    let conv_out = dwconv2d(x, lp.w, &cfg);
+                    let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
+                        (Some(conv_out.clone()), bn.apply(&conv_out))
+                    } else {
+                        (None, conv_out)
+                    };
+                    let (pre_relu, out) = if *relu {
+                        let mut o = bn_out.clone();
+                        o.relu_inplace();
+                        (Some(bn_out), o)
+                    } else {
+                        (None, bn_out)
+                    };
+                    NodeTrace {
+                        out: Value::Map(out),
+                        pre_bn,
+                        pre_relu: pre_relu.map(Value::Map),
+                    }
+                }
+                Op::Pool { factor, kind } => {
+                    let x = traces[node.inputs[0]].out.map();
+                    NodeTrace {
+                        out: Value::Map(pool2d(x, *factor, *kind)),
+                        pre_bn: None,
+                        pre_relu: None,
+                    }
+                }
+                Op::Add { relu } => {
+                    let a = traces[node.inputs[0]].out.map();
+                    let b = traces[node.inputs[1]].out.map();
+                    let sum = a.add(b);
+                    let (pre_relu, out) = if *relu {
+                        let mut o = sum.clone();
+                        o.relu_inplace();
+                        (Some(sum), o)
+                    } else {
+                        (None, sum)
+                    };
+                    NodeTrace {
+                        out: Value::Map(out),
+                        pre_bn: None,
+                        pre_relu: pre_relu.map(Value::Map),
+                    }
+                }
+                Op::GlobalAvgPool => {
+                    let x = traces[node.inputs[0]].out.map();
+                    NodeTrace {
+                        out: Value::Vector(global_avg_pool(x)),
+                        pre_bn: None,
+                        pre_relu: None,
+                    }
+                }
+                Op::Flatten => {
+                    let x = traces[node.inputs[0]].out.map();
+                    NodeTrace {
+                        out: Value::Vector(x.data().to_vec()),
+                        pre_bn: None,
+                        pre_relu: None,
+                    }
+                }
+                Op::Linear { out_features, relu } => {
+                    let x = traces[node.inputs[0]].out.vector();
+                    let lp = params.linear(id);
+                    assert_eq!(lp.in_features, x.len(), "linear input size mismatch");
+                    let mut y = vec![0.0f32; *out_features];
+                    for (o, yo) in y.iter_mut().enumerate() {
+                        let row = &lp.w[o * lp.in_features..(o + 1) * lp.in_features];
+                        let mut acc = lp.b[o];
+                        for (wi, xi) in row.iter().zip(x) {
+                            if *wi != 0.0 && *xi != 0.0 {
+                                acc += wi * xi;
+                            }
+                        }
+                        *yo = acc;
+                    }
+                    let (pre_relu, out) = if *relu {
+                        let pre = y.clone();
+                        for v in &mut y {
+                            if *v < 0.0 {
+                                *v = 0.0;
+                            }
+                        }
+                        (Some(Value::Vector(pre)), y)
+                    } else {
+                        (None, y)
+                    };
+                    NodeTrace {
+                        out: Value::Vector(out),
+                        pre_bn: None,
+                        pre_relu,
+                    }
+                }
+            };
+            traces.push(trace);
+        }
+        ForwardTrace { traces }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, node) in self.nodes.iter().enumerate() {
+            writeln!(
+                f,
+                "#{id:<3} {:<12} inputs={:?} -> {:?}",
+                self.names[id], node.inputs, self.shapes[id]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-node intermediates kept by [`Network::forward`].
+#[derive(Clone, Debug)]
+pub struct NodeTrace {
+    /// Final node output.
+    pub out: Value,
+    /// Pre-batch-norm convolution output (when BN is present).
+    pub pre_bn: Option<Tensor3>,
+    /// Pre-ReLU value (when ReLU is present).
+    pub pre_relu: Option<Value>,
+}
+
+/// Forward execution record: one [`NodeTrace`] per node.
+#[derive(Clone, Debug)]
+pub struct ForwardTrace {
+    /// One entry per node, in topological order.
+    pub traces: Vec<NodeTrace>,
+}
+
+impl ForwardTrace {
+    /// Output of node `id`.
+    pub fn value(&self, id: NodeId) -> &Value {
+        &self.traces[id].out
+    }
+
+    /// The final node's output as a logit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the final node does not produce a vector.
+    pub fn logits(&self) -> &[f32] {
+        self.traces
+            .last()
+            .expect("empty network")
+            .out
+            .vector()
+    }
+
+    /// Index of the largest logit.
+    pub fn predicted_class(&self) -> usize {
+        let logits = self.logits();
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Parameters of a standard convolution node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvParams {
+    /// Weights, `K x C x R x S`.
+    pub w: Tensor4,
+    /// Optional bias, length `K`.
+    pub b: Option<Vec<f32>>,
+    /// Optional inference-mode batch norm.
+    pub bn: Option<Affine>,
+}
+
+/// Parameters of a depthwise convolution node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DwConvParams {
+    /// Weights, `C x 1 x R x S`.
+    pub w: Tensor4,
+    /// Optional inference-mode batch norm.
+    pub bn: Option<Affine>,
+}
+
+/// Parameters of a linear node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearParams {
+    /// Row-major `out_features x in_features` weights.
+    pub w: Vec<f32>,
+    /// Bias, length `out_features`.
+    pub b: Vec<f32>,
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+}
+
+/// Parameters of one node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerParams {
+    /// Standard convolution.
+    Conv {
+        /// Weights.
+        w: Tensor4,
+        /// Optional bias.
+        b: Option<Vec<f32>>,
+        /// Optional batch norm.
+        bn: Option<Affine>,
+    },
+    /// Depthwise convolution.
+    DwConv {
+        /// Weights (`C x 1 x R x S`).
+        w: Tensor4,
+        /// Optional batch norm.
+        bn: Option<Affine>,
+    },
+    /// Fully connected.
+    Linear {
+        /// Row-major weights.
+        w: Vec<f32>,
+        /// Bias.
+        b: Vec<f32>,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+/// All parameters of a network, indexed by node id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Params {
+    /// `layers[id]` is `Some` iff node `id` carries weights.
+    pub layers: Vec<Option<LayerParams>>,
+}
+
+/// Borrowed view of conv parameters.
+pub struct ConvView<'a> {
+    /// Weights.
+    pub w: &'a Tensor4,
+    /// Bias.
+    pub b: &'a Option<Vec<f32>>,
+    /// Batch norm.
+    pub bn: &'a Option<Affine>,
+}
+
+/// Borrowed view of depthwise conv parameters.
+pub struct DwConvView<'a> {
+    /// Weights.
+    pub w: &'a Tensor4,
+    /// Batch norm.
+    pub bn: &'a Option<Affine>,
+}
+
+/// Borrowed view of linear parameters.
+pub struct LinearView<'a> {
+    /// Weights.
+    pub w: &'a [f32],
+    /// Bias.
+    pub b: &'a [f32],
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl Params {
+    /// Randomly initializes parameters for `net` (He weights, BN scale ~1).
+    pub fn init(net: &Network, seed: u64) -> Params {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(net.len());
+        for (id, node) in net.nodes().iter().enumerate() {
+            let lp = match &node.op {
+                Op::Conv(spec) => {
+                    let in_c = net
+                        .value_shape(node.inputs[0])
+                        .as_map()
+                        .expect("conv input must be a map")
+                        .c;
+                    let mut w = Tensor4::zeros(spec.out_channels, in_c, spec.kernel, spec.kernel);
+                    w.init_he(&mut rng);
+                    let b = spec.bias.then(|| {
+                        (0..spec.out_channels)
+                            .map(|_| hd_tensor::tensor::gaussian(&mut rng) * 0.1)
+                            .collect()
+                    });
+                    let bn = spec.batch_norm.then(|| {
+                        let scale = (0..spec.out_channels)
+                            .map(|_| 1.0 + hd_tensor::tensor::gaussian(&mut rng) * 0.1)
+                            .collect();
+                        let shift = (0..spec.out_channels)
+                            .map(|_| hd_tensor::tensor::gaussian(&mut rng) * 0.1)
+                            .collect();
+                        Affine::new(scale, shift)
+                    });
+                    Some(LayerParams::Conv { w, b, bn })
+                }
+                Op::DwConv {
+                    kernel, batch_norm, ..
+                } => {
+                    let in_c = net
+                        .value_shape(node.inputs[0])
+                        .as_map()
+                        .expect("dwconv input must be a map")
+                        .c;
+                    let mut w = Tensor4::zeros(in_c, 1, *kernel, *kernel);
+                    w.init_he(&mut rng);
+                    let bn = batch_norm.then(|| {
+                        let scale = (0..in_c)
+                            .map(|_| 1.0 + hd_tensor::tensor::gaussian(&mut rng) * 0.1)
+                            .collect();
+                        let shift = (0..in_c)
+                            .map(|_| hd_tensor::tensor::gaussian(&mut rng) * 0.1)
+                            .collect();
+                        Affine::new(scale, shift)
+                    });
+                    Some(LayerParams::DwConv { w, bn })
+                }
+                Op::Linear { out_features, .. } => {
+                    let in_features = net.value_shape(node.inputs[0]).len();
+                    let std = (2.0 / in_features as f32).sqrt();
+                    let w = (0..out_features * in_features)
+                        .map(|_| hd_tensor::tensor::gaussian(&mut rng) * std)
+                        .collect();
+                    let b = vec![0.0; *out_features];
+                    Some(LayerParams::Linear {
+                        w,
+                        b,
+                        in_features,
+                        out_features: *out_features,
+                    })
+                }
+                _ => None,
+            };
+            layers.push(lp);
+            let _ = id;
+        }
+        Params { layers }
+    }
+
+    /// Conv parameter view for node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a conv node.
+    pub fn conv(&self, id: NodeId) -> ConvView<'_> {
+        match &self.layers[id] {
+            Some(LayerParams::Conv { w, b, bn }) => ConvView { w, b, bn },
+            other => panic!("node {id} is not a conv layer: {other:?}"),
+        }
+    }
+
+    /// Depthwise conv parameter view for node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a depthwise conv node.
+    pub fn dwconv(&self, id: NodeId) -> DwConvView<'_> {
+        match &self.layers[id] {
+            Some(LayerParams::DwConv { w, bn }) => DwConvView { w, bn },
+            other => panic!("node {id} is not a depthwise conv layer: {other:?}"),
+        }
+    }
+
+    /// Linear parameter view for node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a linear node.
+    pub fn linear(&self, id: NodeId) -> LinearView<'_> {
+        match &self.layers[id] {
+            Some(LayerParams::Linear {
+                w,
+                b,
+                in_features,
+                out_features,
+            }) => LinearView {
+                w,
+                b,
+                in_features: *in_features,
+                out_features: *out_features,
+            },
+            other => panic!("node {id} is not a linear layer: {other:?}"),
+        }
+    }
+
+    /// Mutable weight tensor of a conv / depthwise-conv node, if any.
+    pub fn conv_weights_mut(&mut self, id: NodeId) -> Option<&mut Tensor4> {
+        match &mut self.layers[id] {
+            Some(LayerParams::Conv { w, .. }) | Some(LayerParams::DwConv { w, .. }) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental builder for [`Network`].
+///
+/// Nodes are appended in topological order; shape inference runs eagerly so
+/// geometry errors surface at construction time.
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    shapes: Vec<ValueShape>,
+    names: Vec<String>,
+    input_shape: Shape3,
+    input_added: bool,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given input shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        NetworkBuilder {
+            nodes: Vec::new(),
+            shapes: Vec::new(),
+            names: Vec::new(),
+            input_shape: Shape3::new(c, h, w),
+            input_added: false,
+        }
+    }
+
+    /// Adds the input node (must be called first, exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn input(&mut self) -> NodeId {
+        assert!(!self.input_added, "input() may only be called once");
+        self.input_added = true;
+        self.push(Op::Input, vec![], ValueShape::Map(self.input_shape), "input")
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<NodeId>, shape: ValueShape, name: &str) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { op, inputs });
+        self.shapes.push(shape);
+        self.names.push(format!("{name}{id}"));
+        id
+    }
+
+    fn map_shape(&self, id: NodeId) -> Shape3 {
+        self.shapes[id]
+            .as_map()
+            .unwrap_or_else(|| panic!("node {id} does not produce an activation map"))
+    }
+
+    /// Standard CONV+BN+ReLU layer.
+    pub fn conv(&mut self, x: NodeId, out_channels: usize, kernel: usize, stride: usize) -> NodeId {
+        self.conv_spec(x, ConvSpec::standard(out_channels, kernel, stride))
+    }
+
+    /// Convolution with full control over the spec.
+    pub fn conv_spec(&mut self, x: NodeId, spec: ConvSpec) -> NodeId {
+        let s = self.map_shape(x);
+        let oh = conv_out_dim(s.h, spec.kernel, spec.stride, spec.padding);
+        let ow = conv_out_dim(s.w, spec.kernel, spec.stride, spec.padding);
+        let shape = ValueShape::Map(Shape3::new(spec.out_channels, oh, ow));
+        self.push(Op::Conv(spec), vec![x], shape, "conv")
+    }
+
+    /// Depthwise CONV+BN+ReLU layer.
+    pub fn dwconv(&mut self, x: NodeId, kernel: usize, stride: usize, relu: bool) -> NodeId {
+        let s = self.map_shape(x);
+        let oh = conv_out_dim(s.h, kernel, stride, Padding::Same);
+        let ow = conv_out_dim(s.w, kernel, stride, Padding::Same);
+        let shape = ValueShape::Map(Shape3::new(s.c, oh, ow));
+        self.push(
+            Op::DwConv {
+                kernel,
+                stride,
+                batch_norm: true,
+                relu,
+            },
+            vec![x],
+            shape,
+            "dwconv",
+        )
+    }
+
+    /// Max pooling.
+    pub fn max_pool(&mut self, x: NodeId, factor: usize) -> NodeId {
+        self.pool(x, factor, PoolKind::Max)
+    }
+
+    /// Average pooling.
+    pub fn avg_pool(&mut self, x: NodeId, factor: usize) -> NodeId {
+        self.pool(x, factor, PoolKind::Avg)
+    }
+
+    fn pool(&mut self, x: NodeId, factor: usize, kind: PoolKind) -> NodeId {
+        let s = self.map_shape(x);
+        let shape = ValueShape::Map(Shape3::new(s.c, s.h / factor, s.w / factor));
+        self.push(Op::Pool { factor, kind }, vec![x], shape, "pool")
+    }
+
+    /// Residual join with ReLU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two inputs have different map shapes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.add_opts(a, b, true)
+    }
+
+    /// Residual join with optional ReLU.
+    pub fn add_opts(&mut self, a: NodeId, b: NodeId, relu: bool) -> NodeId {
+        let sa = self.map_shape(a);
+        let sb = self.map_shape(b);
+        assert_eq!(sa, sb, "residual join of mismatched shapes {sa} vs {sb}");
+        self.push(Op::Add { relu }, vec![a, b], ValueShape::Map(sa), "add")
+    }
+
+    /// Global average pooling (map -> vector).
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let s = self.map_shape(x);
+        self.push(Op::GlobalAvgPool, vec![x], ValueShape::Vector(s.c), "gap")
+    }
+
+    /// Flatten (map -> vector).
+    pub fn flatten(&mut self, x: NodeId) -> NodeId {
+        let s = self.map_shape(x);
+        self.push(Op::Flatten, vec![x], ValueShape::Vector(s.len()), "flatten")
+    }
+
+    /// Fully connected layer without activation (e.g. final logits).
+    pub fn linear(&mut self, x: NodeId, out_features: usize) -> NodeId {
+        self.linear_opts(x, out_features, false)
+    }
+
+    /// Fully connected layer with optional ReLU.
+    pub fn linear_opts(&mut self, x: NodeId, out_features: usize, relu: bool) -> NodeId {
+        assert!(
+            matches!(self.shapes[x], ValueShape::Vector(_)),
+            "linear layers require a vector input; insert flatten/global_avg_pool first"
+        );
+        self.push(
+            Op::Linear { out_features, relu },
+            vec![x],
+            ValueShape::Vector(out_features),
+            "fc",
+        )
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input node was added.
+    pub fn build(self) -> Network {
+        assert!(self.input_added, "network has no input node");
+        Network {
+            nodes: self.nodes,
+            input_shape: self.input_shape,
+            shapes: self.shapes,
+            names: self.names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 10);
+        b.build()
+    }
+
+    #[test]
+    fn shape_inference() {
+        let net = tiny_net();
+        assert_eq!(net.value_shape(1), ValueShape::Map(Shape3::new(4, 8, 8)));
+        assert_eq!(net.value_shape(2), ValueShape::Map(Shape3::new(4, 4, 4)));
+        assert_eq!(net.value_shape(3), ValueShape::Vector(4));
+        assert_eq!(net.value_shape(4), ValueShape::Vector(10));
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = tiny_net();
+        let params = Params::init(&net, 3);
+        let mut input = Tensor3::zeros(3, 8, 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        input.fill_uniform(&mut rng, 0.0, 1.0);
+        let out = net.forward(&params, &input);
+        assert_eq!(out.logits().len(), 10);
+        assert!(out.predicted_class() < 10);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = tiny_net();
+        let params = Params::init(&net, 3);
+        let input = Tensor3::full(3, 8, 8, 0.25);
+        let a = net.forward(&params, &input);
+        let b = net.forward(&params, &input);
+        assert_eq!(a.logits(), b.logits());
+    }
+
+    #[test]
+    fn relu_outputs_nonnegative() {
+        let net = tiny_net();
+        let params = Params::init(&net, 5);
+        let input = Tensor3::full(3, 8, 8, 1.0);
+        let out = net.forward(&params, &input);
+        assert!(out.value(1).flat().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn residual_add() {
+        let mut b = NetworkBuilder::new(2, 4, 4);
+        let x = b.input();
+        let y = b.conv(x, 2, 3, 1);
+        let z = b.add(x, y);
+        b.global_avg_pool(z);
+        let net = b.build();
+        let params = Params::init(&net, 9);
+        let input = Tensor3::full(2, 4, 4, 0.5);
+        let out = net.forward(&params, &input);
+        assert_eq!(out.value(2).map().shape(), Shape3::new(2, 4, 4));
+    }
+
+    #[test]
+    fn conv_nodes_and_weighted_nodes() {
+        let net = tiny_net();
+        assert_eq!(net.conv_nodes(), vec![1]);
+        assert_eq!(net.weighted_nodes(), vec![1, 4]);
+    }
+
+    #[test]
+    fn dense_and_sparse_weight_counts() {
+        let net = tiny_net();
+        let mut params = Params::init(&net, 3);
+        let dense = net.dense_weight_count(&params);
+        assert_eq!(dense, 4 * 3 * 3 * 3 + 10 * 4);
+        // Zero one conv weight.
+        params.conv_weights_mut(1).unwrap().data_mut()[0] = 0.0;
+        assert_eq!(net.sparse_weight_count(&params), dense - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn wrong_input_shape_panics() {
+        let net = tiny_net();
+        let params = Params::init(&net, 3);
+        let _ = net.forward(&params, &Tensor3::zeros(3, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector input")]
+    fn linear_on_map_panics() {
+        let mut b = NetworkBuilder::new(1, 4, 4);
+        let x = b.input();
+        b.linear(x, 2);
+    }
+
+    #[test]
+    fn depthwise_preserves_channels() {
+        let mut b = NetworkBuilder::new(6, 8, 8);
+        let x = b.input();
+        let y = b.dwconv(x, 3, 2, true);
+        let net = {
+            b.global_avg_pool(y);
+            b.build()
+        };
+        assert_eq!(net.value_shape(1), ValueShape::Map(Shape3::new(6, 4, 4)));
+        let params = Params::init(&net, 2);
+        let out = net.forward(&params, &Tensor3::full(6, 8, 8, 1.0));
+        assert_eq!(out.value(1).map().c(), 6);
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let net = tiny_net();
+        let s = net.to_string();
+        assert!(s.contains("input"));
+        assert!(s.contains("conv"));
+        assert!(s.contains("fc"));
+    }
+}

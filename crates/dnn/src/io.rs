@@ -1,0 +1,303 @@
+//! Binary (de)serialization of trained parameters.
+//!
+//! Experiments train candidate fleets; being able to checkpoint them to
+//! disk (and reload across runs) keeps the harness restartable. The format
+//! is a small self-describing container: magic, version, then per-node
+//! tagged parameter blocks with explicit dimensions — no external
+//! dependencies, stable across platforms (little-endian throughout).
+
+use crate::graph::{LayerParams, Params};
+use hd_tensor::norm::Affine;
+use hd_tensor::Tensor4;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"HDPARAM1";
+
+/// Errors from parameter (de)serialization.
+#[derive(Debug)]
+pub enum ParamsIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a parameter file or is from an incompatible
+    /// version.
+    BadMagic,
+    /// The stream is structurally invalid (truncated, bad tag, or sizes
+    /// that do not match their dimensions).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ParamsIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ParamsIoError::BadMagic => write!(f, "not a HDPARAM1 parameter stream"),
+            ParamsIoError::Corrupt(what) => write!(f, "corrupt parameter stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsIoError {}
+
+impl From<io::Error> for ParamsIoError {
+    fn from(e: io::Error) -> Self {
+        ParamsIoError::Io(e)
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    write_u32(w, vs.len() as u32)?;
+    for v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ParamsIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> Result<Vec<f32>, ParamsIoError> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 28 {
+        return Err(ParamsIoError::Corrupt("implausible vector length"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+/// Serializes parameters to a writer. A `&mut` reference works for any
+/// writer (e.g. `&mut Vec<u8>`, `&mut File`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(params: &Params, mut w: W) -> Result<(), ParamsIoError> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, params.layers.len() as u32)?;
+    for layer in &params.layers {
+        match layer {
+            None => write_u32(&mut w, 0)?,
+            Some(LayerParams::Conv { w: wt, b, bn }) => {
+                write_u32(&mut w, 1)?;
+                for d in [wt.k(), wt.c(), wt.r(), wt.s()] {
+                    write_u32(&mut w, d as u32)?;
+                }
+                write_f32s(&mut w, wt.data())?;
+                match b {
+                    Some(b) => {
+                        write_u32(&mut w, 1)?;
+                        write_f32s(&mut w, b)?;
+                    }
+                    None => write_u32(&mut w, 0)?,
+                }
+                match bn {
+                    Some(bn) => {
+                        write_u32(&mut w, 1)?;
+                        write_f32s(&mut w, bn.scale())?;
+                        write_f32s(&mut w, bn.shift())?;
+                    }
+                    None => write_u32(&mut w, 0)?,
+                }
+            }
+            Some(LayerParams::DwConv { w: wt, bn }) => {
+                write_u32(&mut w, 2)?;
+                for d in [wt.k(), wt.c(), wt.r(), wt.s()] {
+                    write_u32(&mut w, d as u32)?;
+                }
+                write_f32s(&mut w, wt.data())?;
+                match bn {
+                    Some(bn) => {
+                        write_u32(&mut w, 1)?;
+                        write_f32s(&mut w, bn.scale())?;
+                        write_f32s(&mut w, bn.shift())?;
+                    }
+                    None => write_u32(&mut w, 0)?,
+                }
+            }
+            Some(LayerParams::Linear {
+                w: wt,
+                b,
+                in_features,
+                out_features,
+            }) => {
+                write_u32(&mut w, 3)?;
+                write_u32(&mut w, *in_features as u32)?;
+                write_u32(&mut w, *out_features as u32)?;
+                write_f32s(&mut w, wt)?;
+                write_f32s(&mut w, b)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes parameters from a reader.
+///
+/// # Errors
+///
+/// Returns [`ParamsIoError`] on I/O failure, bad magic, or structural
+/// corruption.
+pub fn load_params<R: Read>(mut r: R) -> Result<Params, ParamsIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ParamsIoError::BadMagic);
+    }
+    let n = read_u32(&mut r)? as usize;
+    if n > 1 << 20 {
+        return Err(ParamsIoError::Corrupt("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = read_u32(&mut r)?;
+        let layer = match tag {
+            0 => None,
+            1 => {
+                let (k, c, rr, s) = (
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                );
+                let data = read_f32s(&mut r)?;
+                if data.len() != k * c * rr * s {
+                    return Err(ParamsIoError::Corrupt("conv weight size mismatch"));
+                }
+                let w = Tensor4::from_vec(k, c, rr, s, data);
+                let b = if read_u32(&mut r)? == 1 {
+                    Some(read_f32s(&mut r)?)
+                } else {
+                    None
+                };
+                let bn = if read_u32(&mut r)? == 1 {
+                    let scale = read_f32s(&mut r)?;
+                    let shift = read_f32s(&mut r)?;
+                    if scale.len() != shift.len() {
+                        return Err(ParamsIoError::Corrupt("bn scale/shift mismatch"));
+                    }
+                    Some(Affine::new(scale, shift))
+                } else {
+                    None
+                };
+                Some(LayerParams::Conv { w, b, bn })
+            }
+            2 => {
+                let (k, c, rr, s) = (
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                    read_u32(&mut r)? as usize,
+                );
+                let data = read_f32s(&mut r)?;
+                if data.len() != k * c * rr * s {
+                    return Err(ParamsIoError::Corrupt("dwconv weight size mismatch"));
+                }
+                let w = Tensor4::from_vec(k, c, rr, s, data);
+                let bn = if read_u32(&mut r)? == 1 {
+                    let scale = read_f32s(&mut r)?;
+                    let shift = read_f32s(&mut r)?;
+                    if scale.len() != shift.len() {
+                        return Err(ParamsIoError::Corrupt("bn scale/shift mismatch"));
+                    }
+                    Some(Affine::new(scale, shift))
+                } else {
+                    None
+                };
+                Some(LayerParams::DwConv { w, bn })
+            }
+            3 => {
+                let in_features = read_u32(&mut r)? as usize;
+                let out_features = read_u32(&mut r)? as usize;
+                let w = read_f32s(&mut r)?;
+                let b = read_f32s(&mut r)?;
+                if w.len() != in_features * out_features || b.len() != out_features {
+                    return Err(ParamsIoError::Corrupt("linear size mismatch"));
+                }
+                Some(LayerParams::Linear {
+                    w,
+                    b,
+                    in_features,
+                    out_features,
+                })
+            }
+            _ => return Err(ParamsIoError::Corrupt("unknown layer tag")),
+        };
+        layers.push(layer);
+    }
+    Ok(Params { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+
+    fn sample_params() -> Params {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.dwconv(x, 3, 1, true);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 5);
+        Params::init(&b.build(), 42)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        let loaded = load_params(buf.as_slice()).unwrap();
+        assert_eq!(params, loaded);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_params(&b"NOTPARAM...."[..]).unwrap_err();
+        assert!(matches!(err, ParamsIoError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_params(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_tag_is_detected() {
+        let params = sample_params();
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        // Overwrite the first layer tag (right after magic + count).
+        buf[12] = 0xFF;
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ParamsIoError::Corrupt(_) | ParamsIoError::Io(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let params = sample_params();
+        let path = std::env::temp_dir().join("hd_params_roundtrip.bin");
+        save_params(&params, std::fs::File::create(&path).unwrap()).unwrap();
+        let loaded = load_params(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(params, loaded);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests on the graph framework.
+
+use hd_dnn::graph::{NetworkBuilder, Params};
+use hd_dnn::prune::{magnitude_prune_global, SparsityProfile};
+use hd_tensor::Tensor3;
+use proptest::prelude::*;
+
+fn arb_net(c: usize, hw: usize, convs: &[(usize, usize, usize)], pool_after: usize) -> hd_dnn::graph::Network {
+    let mut b = NetworkBuilder::new(c, hw, hw);
+    let mut x = b.input();
+    for (i, &(k, kernel, stride)) in convs.iter().enumerate() {
+        x = b.conv(x, k, kernel, stride);
+        if i + 1 == pool_after {
+            x = b.max_pool(x, 2);
+        }
+    }
+    let x = b.global_avg_pool(x);
+    b.linear(x, 5);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shape inference matches the executed shapes for arbitrary stacks.
+    #[test]
+    fn shapes_match_execution(
+        k1 in 2usize..6, k2 in 2usize..6,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        pool_after in 0usize..3,
+    ) {
+        let net = arb_net(2, 12, &[(k1, kernel, stride), (k2, 3, 1)], pool_after);
+        let params = Params::init(&net, 7);
+        let out = net.forward(&params, &Tensor3::full(2, 12, 12, 0.5));
+        for id in 0..net.len() {
+            let declared = net.value_shape(id).len();
+            let actual = out.value(id).flat().len();
+            prop_assert_eq!(declared, actual, "node {}", id);
+        }
+    }
+
+    /// Forward execution is a pure function of (params, input).
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..100, fill in 0.0f32..1.0) {
+        let net = arb_net(2, 8, &[(3, 3, 1)], 1);
+        let params = Params::init(&net, seed);
+        let img = Tensor3::full(2, 8, 8, fill);
+        let a = net.forward(&params, &img);
+        let b = net.forward(&params, &img);
+        prop_assert_eq!(a.logits(), b.logits());
+    }
+
+    /// Global magnitude pruning: pruned weights are the smallest ones —
+    /// no kept weight (above the per-layer floor) is smaller than a
+    /// pruned weight within the same layer.
+    #[test]
+    fn pruning_keeps_largest_weights(seed in 0u64..100, sparsity in 0.1f64..0.9) {
+        let net = arb_net(2, 8, &[(4, 3, 1), (4, 3, 1)], 1);
+        let params = Params::init(&net, seed);
+        let mask = magnitude_prune_global(&net, &params, sparsity, 1);
+        for id in net.weighted_nodes() {
+            let keep = mask.masks[id].as_ref().unwrap();
+            let w: Vec<f32> = match &params.layers[id] {
+                Some(hd_dnn::graph::LayerParams::Conv { w, .. }) => w.data().to_vec(),
+                Some(hd_dnn::graph::LayerParams::Linear { w, .. }) => w.clone(),
+                _ => continue,
+            };
+            let max_pruned = w.iter().zip(keep).filter(|(_, &k)| !k)
+                .map(|(v, _)| v.abs()).fold(0.0f32, f32::max);
+            let min_kept = w.iter().zip(keep).filter(|(_, &k)| k)
+                .map(|(v, _)| v.abs()).fold(f32::INFINITY, f32::min);
+            // Global thresholding: within a layer kept >= pruned, unless the
+            // per-layer floor forced extra keeps (floor = 1 here, so only
+            // degenerate single-weight layers could violate; none exist).
+            prop_assert!(min_kept >= max_pruned || keep.iter().filter(|&&k| k).count() == 1,
+                "layer {}: kept {} < pruned {}", id, min_kept, max_pruned);
+        }
+    }
+
+    /// Applying a sparsity profile then re-applying its own mask is
+    /// idempotent on the weights.
+    #[test]
+    fn profile_masks_are_idempotent(seed in 0u64..100, s in 0.2f64..0.9) {
+        let net = arb_net(2, 8, &[(4, 3, 1)], 1);
+        let mut params = Params::init(&net, seed);
+        let profile = SparsityProfile {
+            targets: net.weighted_nodes().iter().map(|&id| (id, s)).collect(),
+        };
+        let mask = hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, seed ^ 1);
+        let snapshot = params.clone();
+        mask.apply(&mut params);
+        prop_assert_eq!(params, snapshot);
+    }
+}

@@ -1,0 +1,395 @@
+//! A compact arbitrary-precision unsigned integer.
+//!
+//! Only the operations the HuffDuff solution-space accounting needs are
+//! implemented: addition, subtraction (saturating at zero is *not* provided —
+//! underflow panics), multiplication, small-divisor division, comparison,
+//! decimal formatting, and a base-10 logarithm approximation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// Base-2^32 little-endian arbitrary-precision unsigned integer.
+///
+/// The invariant is that `limbs` never has trailing zero limbs; zero is
+/// represented by an empty limb vector.
+///
+/// # Examples
+///
+/// ```
+/// use hd_num::BigUint;
+///
+/// let a = BigUint::from(123_456_789_u64);
+/// let b = BigUint::from(987_654_321_u64);
+/// assert_eq!((&a * &b).to_string(), "121932631112635269");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 32 + (32 - top.leading_zeros()),
+        }
+    }
+
+    /// Adds `rhs` in place.
+    pub fn add_assign(&mut self, rhs: &BigUint) {
+        let mut carry: u64 = 0;
+        let n = self.limbs.len().max(rhs.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let r = *rhs.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = self.limbs[i] as u64 + r + carry;
+            self.limbs[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Multiplies by a `u32` in place.
+    pub fn mul_u32(&mut self, m: u32) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry: u64 = 0;
+        for limb in &mut self.limbs {
+            let prod = *limb as u64 * m as u64 + carry;
+            *limb = prod as u32;
+            carry = prod >> 32;
+        }
+        while carry != 0 {
+            self.limbs.push(carry as u32);
+            carry >>= 32;
+        }
+    }
+
+    /// Multiplies by a `u64`.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        self * &BigUint::from(m)
+    }
+
+    /// Divides in place by a `u32` divisor, returning the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u32(&mut self, d: u32) -> u32 {
+        assert!(d != 0, "division by zero");
+        let mut rem: u64 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *limb as u64;
+            *limb = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        rem as u32
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Approximate base-10 logarithm; returns negative infinity for zero.
+    pub fn approx_log10(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log10(),
+            n => {
+                // Use the top two (or three) limbs for the mantissa.
+                let hi = self.limbs[n - 1] as f64;
+                let mid = self.limbs[n - 2] as f64;
+                let lo = if n >= 3 { self.limbs[n - 3] as f64 } else { 0.0 };
+                let mantissa = hi + mid / 4294967296.0 + lo / (4294967296.0 * 4294967296.0);
+                mantissa.log10() + (n as f64 - 1.0) * 32.0 * std::f64::consts::LOG10_2
+            }
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a
+    /// non-digit character.
+    pub fn from_decimal(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut out = BigUint::zero();
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigUintError)?;
+            out.mul_u32(10);
+            out.add_assign(&BigUint::from(d as u64));
+        }
+        Ok(out)
+    }
+}
+
+/// Error returned by [`BigUint::from_decimal`] on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal big-integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let lo = v as u32;
+        let hi = (v >> 32) as u32;
+        if hi != 0 {
+            BigUint { limbs: vec![lo, hi] }
+        } else if lo != 0 {
+            BigUint { limbs: vec![lo] }
+        } else {
+            BigUint::zero()
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let idx = i + j;
+                let cur = out[idx] as u64 + a as u64 * b as u64 + carry;
+                out[idx] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = out[idx] as u64 + carry;
+                out[idx] = cur as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        BigUint::trim(out)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            chunks.push(cur.div_rem_u32(1_000_000_000));
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for chunk in chunks.into_iter().rev() {
+            s.push_str(&format!("{:09}", chunk));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::one().to_string(), "1");
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 42, u32::MAX as u64, u32::MAX as u64 + 1, u64::MAX] {
+            assert_eq!(BigUint::from(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        let sum = &a + &b;
+        assert_eq!(sum.to_string(), "18446744073709551616");
+        assert_eq!(sum.to_u64(), None);
+    }
+
+    #[test]
+    fn multiplication_small() {
+        let a = BigUint::from(123_456_789u64);
+        let b = BigUint::from(987_654_321u64);
+        assert_eq!((&a * &b).to_string(), "121932631112635269");
+    }
+
+    #[test]
+    fn multiplication_by_zero() {
+        let a = BigUint::from(u64::MAX);
+        assert!((&a * &BigUint::zero()).is_zero());
+        let mut b = a.clone();
+        b.mul_u32(0);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn pow_of_ten() {
+        let ten = BigUint::from(10u64);
+        let n = ten.pow(96);
+        assert_eq!(n.to_string().len(), 97);
+        assert!((n.approx_log10() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pow_zero_exponent() {
+        assert_eq!(BigUint::from(7u64).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(0), BigUint::one());
+    }
+
+    #[test]
+    fn div_rem() {
+        let mut n = BigUint::from_decimal("123456789012345678901234567890").unwrap();
+        let r = n.div_rem_u32(97);
+        // Verified against arbitrary-precision arithmetic.
+        let q = BigUint::from_decimal("1272750402189130710322005854").unwrap();
+        assert_eq!(n, q);
+        assert_eq!(
+            &(&q * &BigUint::from(97u64)) + &BigUint::from(r as u64),
+            BigUint::from_decimal("123456789012345678901234567890").unwrap()
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from(6u64);
+        let c = BigUint::from(u64::MAX).pow(3);
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BigUint::from_decimal("").is_err());
+        assert!(BigUint::from_decimal("12a3").is_err());
+        assert_eq!(
+            BigUint::from_decimal("000123").unwrap(),
+            BigUint::from(123u64)
+        );
+    }
+
+    #[test]
+    fn log10_of_zero_is_neg_inf() {
+        assert!(BigUint::zero().approx_log10().is_infinite());
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from(255u64).bits(), 8);
+        assert_eq!(BigUint::from(256u64).bits(), 9);
+        assert_eq!(BigUint::from(u64::MAX).bits(), 64);
+    }
+}

@@ -1,0 +1,159 @@
+//! Log-domain counting of candidate-architecture spaces.
+//!
+//! The naive-sparse bound in the paper produces per-layer candidate counts
+//! whose product overflows any machine integer. [`LogCount`] tracks both an
+//! exact [`BigUint`] (always) and a cached `log10` so experiment code can
+//! print "4 x 10^96"-style figures without conversion gymnastics.
+
+use crate::BigUint;
+use std::fmt;
+
+/// An exact product/sum accumulator with convenient scientific formatting.
+///
+/// # Examples
+///
+/// ```
+/// use hd_num::LogCount;
+///
+/// let mut space = LogCount::one();
+/// for _ in 0..20 {
+///     space.mul_count(1_000_000); // 20 layers, 1e6 candidates each
+/// }
+/// assert_eq!(space.log10().round() as i64, 120);
+/// assert_eq!(space.to_scientific(2), "1.00e120");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogCount {
+    exact: BigUint,
+}
+
+impl LogCount {
+    /// The multiplicative identity (a space with exactly one candidate).
+    pub fn one() -> Self {
+        LogCount { exact: BigUint::one() }
+    }
+
+    /// The empty space.
+    pub fn zero() -> Self {
+        LogCount { exact: BigUint::zero() }
+    }
+
+    /// Creates a count from a machine integer.
+    pub fn from_count(n: u64) -> Self {
+        LogCount { exact: BigUint::from(n) }
+    }
+
+    /// Multiplies by a per-layer candidate count.
+    pub fn mul_count(&mut self, n: u64) {
+        self.exact = &self.exact * &BigUint::from(n);
+    }
+
+    /// Multiplies by another count.
+    pub fn mul(&mut self, other: &LogCount) {
+        self.exact = &self.exact * &other.exact;
+    }
+
+    /// Adds another count (for unions of disjoint spaces).
+    pub fn add_count_from(&mut self, other: &LogCount) {
+        self.exact = &self.exact + &other.exact;
+    }
+
+    /// The exact value.
+    pub fn exact(&self) -> &BigUint {
+        &self.exact
+    }
+
+    /// Base-10 logarithm (negative infinity for an empty space).
+    pub fn log10(&self) -> f64 {
+        self.exact.approx_log10()
+    }
+
+    /// The value as `u64`, if small enough.
+    pub fn to_u64(&self) -> Option<u64> {
+        self.exact.to_u64()
+    }
+
+    /// Scientific notation like `"4.00e96"` with `digits` fractional digits.
+    pub fn to_scientific(&self, digits: usize) -> String {
+        if self.exact.is_zero() {
+            return "0".to_string();
+        }
+        let log = self.log10();
+        let exp = log.floor();
+        let mantissa = 10f64.powf(log - exp);
+        // Guard against mantissa rounding up to 10.0.
+        let (mantissa, exp) = if format!("{:.*}", digits, mantissa).starts_with("10") {
+            (1.0, exp + 1.0)
+        } else {
+            (mantissa, exp)
+        };
+        format!("{:.*}e{}", digits, mantissa, exp as i64)
+    }
+}
+
+impl Default for LogCount {
+    fn default() -> Self {
+        LogCount::one()
+    }
+}
+
+impl fmt::Display for LogCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.to_u64() {
+            write!(f, "{}", v)
+        } else {
+            write!(f, "{}", self.to_scientific(2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_zero() {
+        assert_eq!(LogCount::one().to_u64(), Some(1));
+        assert_eq!(LogCount::zero().to_u64(), Some(0));
+        assert_eq!(LogCount::zero().to_scientific(2), "0");
+    }
+
+    #[test]
+    fn product_of_layer_counts() {
+        let mut c = LogCount::one();
+        c.mul_count(8);
+        c.mul_count(0);
+        assert_eq!(c.to_u64(), Some(0));
+    }
+
+    #[test]
+    fn astronomical_products_format() {
+        let mut c = LogCount::one();
+        for _ in 0..16 {
+            c.mul_count(1_000_000_000_000); // 1e12 each
+        }
+        assert_eq!(c.log10().round() as i64, 192);
+        assert!(c.to_scientific(1).ends_with("e192"));
+    }
+
+    #[test]
+    fn display_small_is_decimal() {
+        assert_eq!(LogCount::from_count(44).to_string(), "44");
+    }
+
+    #[test]
+    fn add_union() {
+        let mut a = LogCount::from_count(40);
+        a.add_count_from(&LogCount::from_count(4));
+        assert_eq!(a.to_u64(), Some(44));
+    }
+
+    #[test]
+    fn mantissa_rounding_carry() {
+        // 9.999... should not print as "10.0e(n)".
+        let c = LogCount::from_count(999_999);
+        let s = c.to_scientific(1);
+        assert!(s == "1.0e6" || s == "10.0e5" || s == "9.99e5" || s.starts_with("1.0e"), "{s}");
+        assert!(!s.starts_with("10."), "{s}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Running statistics and histograms for the experiment harness.
+
+use std::fmt;
+
+/// Welford-style running mean/variance accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use hd_num::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (unbiased; 0 when fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.population_std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fixed-width bucket histogram over `[lo, hi)`.
+///
+/// Out-of-range samples are clamped into the first/last bucket so totals are
+/// never lost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        let idx = ((x - self.lo) / w).floor();
+        let idx = idx.clamp(0.0, (self.buckets.len() - 1) as f64) as usize;
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of samples at or above `threshold`.
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bucket_lo = self.lo + i as f64 * w;
+            if bucket_lo + w > threshold {
+                acc += c;
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(-1.0);
+        h.push(100.0);
+        h.push(5.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[2], 1);
+    }
+
+    #[test]
+    fn histogram_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 / 10.0 + 0.05);
+        }
+        assert!((h.fraction_at_least(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the arbitrary-precision arithmetic.
+
+use hd_num::{BigUint, LogCount};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let sum = &BigUint::from(a) + &BigUint::from(b);
+        let expect = a as u128 + b as u128;
+        prop_assert_eq!(sum.to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let prod = &BigUint::from(a) * &BigUint::from(b);
+        let expect = a as u128 * b as u128;
+        prop_assert_eq!(prod.to_string(), expect.to_string());
+    }
+
+    #[test]
+    fn mul_is_commutative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
+        let left = &(&x * &y) * &z;
+        let right = &x * &(&z * &y);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn add_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+    }
+
+    #[test]
+    fn div_rem_roundtrips(a in any::<u64>(), d in 1u32..u32::MAX) {
+        let n = BigUint::from(a).mul_u64(0x1_0000_0001); // widen past 64 bits
+        let mut q = n.clone();
+        let r = q.div_rem_u32(d);
+        prop_assert!(r < d);
+        let back = &(&q * &BigUint::from(d as u64)) + &BigUint::from(r as u64);
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn decimal_roundtrips(a in any::<u64>(), b in any::<u64>()) {
+        let n = &BigUint::from(a) * &BigUint::from(b);
+        let parsed = BigUint::from_decimal(&n.to_string()).unwrap();
+        prop_assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn log10_tracks_decimal_length(a in 1u64..u64::MAX, exp in 0u32..12) {
+        let n = BigUint::from(a).pow(exp + 1);
+        let digits = n.to_string().len() as f64;
+        let log = n.approx_log10();
+        prop_assert!(log >= digits - 1.0 - 1e-6 && log < digits + 1e-6,
+            "log10 {} vs {} digits", log, digits);
+    }
+
+    #[test]
+    fn ordering_consistent_with_u128(a in any::<u64>(), b in any::<u64>()) {
+        let cmp_big = BigUint::from(a).cmp(&BigUint::from(b));
+        prop_assert_eq!(cmp_big, a.cmp(&b));
+    }
+
+    #[test]
+    fn logcount_product_log_is_sum_of_logs(xs in prop::collection::vec(2u64..1_000_000, 1..10)) {
+        let mut c = LogCount::one();
+        let mut expect = 0.0f64;
+        for &x in &xs {
+            c.mul_count(x);
+            expect += (x as f64).log10();
+        }
+        prop_assert!((c.log10() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication(base in 1u64..1000, exp in 0u32..8) {
+        let b = BigUint::from(base);
+        let mut expect = BigUint::one();
+        for _ in 0..exp {
+            expect = &expect * &b;
+        }
+        prop_assert_eq!(b.pow(exp), expect);
+    }
+}

@@ -1,0 +1,257 @@
+//! Depthwise 2-D convolution (one filter per channel, `groups == channels`).
+//!
+//! Needed for the MobileNetV2 baselines used in the paper's Figures 5 and 6.
+//! Weights are stored as a [`Tensor4`] with `k == channels` and `c == 1`.
+
+use crate::conv::{conv_out_dim, same_pad, Conv2dCfg, Padding};
+use crate::{Tensor3, Tensor4};
+
+/// Depthwise convolution: `out[c, p, q] = sum_{r,s} in[c, ...] * w[c, 0, r, s]`.
+///
+/// # Panics
+///
+/// Panics if the weight tensor is not depthwise-shaped (`c() != 1`) or its
+/// `k()` does not match the input channel count.
+///
+/// # Examples
+///
+/// ```
+/// use hd_tensor::{Tensor3, Tensor4};
+/// use hd_tensor::conv::{Conv2dCfg, Padding};
+/// use hd_tensor::dwconv::dwconv2d;
+///
+/// let x = Tensor3::full(2, 3, 3, 1.0);
+/// let w = Tensor4::from_vec(2, 1, 1, 1, vec![2.0, 3.0]);
+/// let y = dwconv2d(&x, &w, &Conv2dCfg { stride: 1, padding: Padding::Same });
+/// assert_eq!(y.at(0, 0, 0), 2.0);
+/// assert_eq!(y.at(1, 0, 0), 3.0);
+/// ```
+pub fn dwconv2d(input: &Tensor3, weight: &Tensor4, cfg: &Conv2dCfg) -> Tensor3 {
+    assert_eq!(weight.c(), 1, "depthwise weights must have c == 1");
+    assert_eq!(
+        weight.k(),
+        input.c(),
+        "depthwise weights must have one filter per input channel"
+    );
+    assert!(cfg.stride > 0, "stride must be positive");
+
+    let out_h = conv_out_dim(input.h(), weight.r(), cfg.stride, cfg.padding);
+    let out_w = conv_out_dim(input.w(), weight.s(), cfg.stride, cfg.padding);
+    let (pad_y, pad_x) = match cfg.padding {
+        Padding::Same => (
+            same_pad(input.h(), weight.r(), cfg.stride),
+            same_pad(input.w(), weight.s(), cfg.stride),
+        ),
+        Padding::Valid => (0, 0),
+    };
+
+    let mut out = Tensor3::zeros(input.c(), out_h, out_w);
+    for c in 0..input.c() {
+        for p in 0..out_h {
+            for q in 0..out_w {
+                let mut acc = 0.0;
+                for r in 0..weight.r() {
+                    let iy = (p * cfg.stride + r) as isize - pad_y as isize;
+                    if iy < 0 || iy >= input.h() as isize {
+                        continue;
+                    }
+                    for s in 0..weight.s() {
+                        let ix = (q * cfg.stride + s) as isize - pad_x as isize;
+                        if ix < 0 || ix >= input.w() as isize {
+                            continue;
+                        }
+                        let wv = weight.at(c, 0, r, s);
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        acc += wv * input.at(c, iy as usize, ix as usize);
+                    }
+                }
+                out.set(c, p, q, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`dwconv2d`] with respect to its input.
+pub fn dwconv2d_input_grad(
+    grad_out: &Tensor3,
+    weight: &Tensor4,
+    input_shape: (usize, usize, usize),
+    cfg: &Conv2dCfg,
+) -> Tensor3 {
+    let (in_c, in_h, in_w) = input_shape;
+    assert_eq!(grad_out.c(), in_c, "depthwise grad channel mismatch");
+    let (pad_y, pad_x) = match cfg.padding {
+        Padding::Same => (
+            same_pad(in_h, weight.r(), cfg.stride),
+            same_pad(in_w, weight.s(), cfg.stride),
+        ),
+        Padding::Valid => (0, 0),
+    };
+    let mut grad_in = Tensor3::zeros(in_c, in_h, in_w);
+    for c in 0..in_c {
+        for p in 0..grad_out.h() {
+            for q in 0..grad_out.w() {
+                let g = grad_out.at(c, p, q);
+                if g == 0.0 {
+                    continue;
+                }
+                for r in 0..weight.r() {
+                    let iy = (p * cfg.stride + r) as isize - pad_y as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    for s in 0..weight.s() {
+                        let ix = (q * cfg.stride + s) as isize - pad_x as isize;
+                        if ix < 0 || ix >= in_w as isize {
+                            continue;
+                        }
+                        let idx = grad_in.shape().index(c, iy as usize, ix as usize);
+                        grad_in.data_mut()[idx] += g * weight.at(c, 0, r, s);
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Gradient of [`dwconv2d`] with respect to its weights.
+pub fn dwconv2d_weight_grad(
+    grad_out: &Tensor3,
+    input: &Tensor3,
+    kernel: (usize, usize),
+    cfg: &Conv2dCfg,
+) -> Tensor4 {
+    let (kr, ks) = kernel;
+    let (pad_y, pad_x) = match cfg.padding {
+        Padding::Same => (
+            same_pad(input.h(), kr, cfg.stride),
+            same_pad(input.w(), ks, cfg.stride),
+        ),
+        Padding::Valid => (0, 0),
+    };
+    let mut grad_w = Tensor4::zeros(input.c(), 1, kr, ks);
+    for c in 0..input.c() {
+        for p in 0..grad_out.h() {
+            for q in 0..grad_out.w() {
+                let g = grad_out.at(c, p, q);
+                if g == 0.0 {
+                    continue;
+                }
+                for r in 0..kr {
+                    let iy = (p * cfg.stride + r) as isize - pad_y as isize;
+                    if iy < 0 || iy >= input.h() as isize {
+                        continue;
+                    }
+                    for s in 0..ks {
+                        let ix = (q * cfg.stride + s) as isize - pad_x as isize;
+                        if ix < 0 || ix >= input.w() as isize {
+                            continue;
+                        }
+                        let idx = grad_w.index(c, 0, r, s);
+                        grad_w.data_mut()[idx] += g * input.at(c, iy as usize, ix as usize);
+                    }
+                }
+            }
+        }
+    }
+    grad_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(stride: usize) -> Conv2dCfg {
+        Conv2dCfg {
+            stride,
+            padding: Padding::Same,
+        }
+    }
+
+    #[test]
+    fn channels_stay_independent() {
+        let mut x = Tensor3::zeros(2, 3, 3);
+        x.set(0, 1, 1, 1.0);
+        x.set(1, 1, 1, 1.0);
+        let mut w = Tensor4::zeros(2, 1, 3, 3);
+        w.set(0, 0, 1, 1, 5.0);
+        w.set(1, 0, 1, 1, -7.0);
+        let y = dwconv2d(&x, &w, &cfg(1));
+        assert_eq!(y.at(0, 1, 1), 5.0);
+        assert_eq!(y.at(1, 1, 1), -7.0);
+        assert_eq!(y.nnz(), 2);
+    }
+
+    #[test]
+    fn stride_two() {
+        let x = Tensor3::full(1, 4, 4, 1.0);
+        let w = Tensor4::from_vec(1, 1, 1, 1, vec![3.0]);
+        let y = dwconv2d(&x, &w, &cfg(2));
+        assert_eq!((y.h(), y.w()), (2, 2));
+        assert!(y.data().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn input_grad_matches_numerical() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut x = Tensor3::zeros(2, 4, 4);
+        x.fill_uniform(&mut rng, -1.0, 1.0);
+        let mut w = Tensor4::zeros(2, 1, 3, 3);
+        w.init_he(&mut rng);
+        let c = cfg(1);
+        let out = dwconv2d(&x, &w, &c);
+        let grad_out = Tensor3::full(out.c(), out.h(), out.w(), 1.0);
+        let analytic = dwconv2d_input_grad(&grad_out, &w, (2, 4, 4), &c);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 16, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = dwconv2d(&xp, &w, &c).data().iter().sum();
+            let fm: f32 = dwconv2d(&xm, &w, &c).data().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn weight_grad_matches_numerical() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut x = Tensor3::zeros(1, 4, 4);
+        x.fill_uniform(&mut rng, -1.0, 1.0);
+        let mut w = Tensor4::zeros(1, 1, 3, 3);
+        w.init_he(&mut rng);
+        let c = cfg(1);
+        let out = dwconv2d(&x, &w, &c);
+        let grad_out = Tensor3::full(out.c(), out.h(), out.w(), 1.0);
+        let analytic = dwconv2d_weight_grad(&grad_out, &x, (3, 3), &c);
+        let eps = 1e-3f32;
+        for idx in 0..9 {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fp: f32 = dwconv2d(&x, &wp, &c).data().iter().sum();
+            let fm: f32 = dwconv2d(&x, &wm, &c).data().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depthwise weights")]
+    fn non_depthwise_weights_panic() {
+        let x = Tensor3::zeros(2, 3, 3);
+        let w = Tensor4::zeros(2, 2, 3, 3);
+        let _ = dwconv2d(&x, &w, &cfg(1));
+    }
+}

@@ -1,0 +1,231 @@
+//! Canonical Huffman coding over quantized tensor values.
+//!
+//! Deep Compression (Han et al. 2016) finishes its pipeline with Huffman
+//! coding of the quantized weights; several accelerator proposals transfer
+//! Huffman-coded tensors. For the side channel this codec is the
+//! interesting extreme: the transfer size depends on the whole *value
+//! distribution*, not just nnz — yet zero dominates pruned tensors so
+//! heavily that the size still tracks nnz closely (see the codec
+//! ablation).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A built Huffman code: bit length per symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// `lengths[symbol]` = code length in bits (0 if the symbol is absent).
+    lengths: Vec<u8>,
+}
+
+impl HuffmanCode {
+    /// Builds an optimal prefix code for the given symbol frequencies.
+    ///
+    /// Absent symbols (frequency 0) get length 0. A single-symbol alphabet
+    /// gets length 1 (one bit per occurrence).
+    pub fn from_frequencies(freqs: &[u64]) -> HuffmanCode {
+        let mut lengths = vec![0u8; freqs.len()];
+        let present: Vec<usize> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, _)| i)
+            .collect();
+        match present.len() {
+            0 => {}
+            1 => lengths[present[0]] = 1,
+            _ => {
+                // Standard two-queue-free heap construction over (weight,
+                // node). Leaves carry a symbol list to assign depths.
+                #[derive(PartialEq, Eq)]
+                struct Node {
+                    weight: u64,
+                    symbols: Vec<(usize, u8)>, // (symbol, current depth)
+                }
+                impl Ord for Node {
+                    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                        self.weight.cmp(&other.weight)
+                    }
+                }
+                impl PartialOrd for Node {
+                    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                        Some(self.cmp(other))
+                    }
+                }
+                let mut heap: BinaryHeap<Reverse<Node>> = present
+                    .iter()
+                    .map(|&s| {
+                        Reverse(Node {
+                            weight: freqs[s],
+                            symbols: vec![(s, 0)],
+                        })
+                    })
+                    .collect();
+                while heap.len() > 1 {
+                    let Reverse(a) = heap.pop().unwrap();
+                    let Reverse(b) = heap.pop().unwrap();
+                    let mut symbols = a.symbols;
+                    symbols.extend(b.symbols);
+                    for (_, d) in &mut symbols {
+                        *d += 1;
+                    }
+                    heap.push(Reverse(Node {
+                        weight: a.weight + b.weight,
+                        symbols,
+                    }));
+                }
+                let Reverse(root) = heap.pop().unwrap();
+                for (s, d) in root.symbols {
+                    lengths[s] = d;
+                }
+            }
+        }
+        HuffmanCode { lengths }
+    }
+
+    /// Code length of a symbol in bits.
+    pub fn length(&self, symbol: usize) -> u8 {
+        self.lengths.get(symbol).copied().unwrap_or(0)
+    }
+
+    /// Total encoded payload size in bits for the given frequencies.
+    pub fn payload_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+
+    /// Kraft sum numerator over 2^16 (must be <= 2^16 for a valid code).
+    pub fn kraft_numerator(&self) -> u64 {
+        self.lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (16 - l.min(16) as u64))
+            .sum()
+    }
+}
+
+/// Quantizes values to `bits`-wide symbols (symmetric uniform quantizer
+/// over the observed range) and returns the per-symbol histogram.
+pub fn quantize_histogram(values: &[f32], bits: u32) -> Vec<u64> {
+    let symbols = 1usize << bits;
+    let mut freqs = vec![0u64; symbols];
+    let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        freqs[0] = values.len() as u64;
+        return freqs;
+    }
+    let half = (symbols / 2) as f32;
+    for &v in values {
+        let q = ((v / max_abs) * (half - 1.0)).round() as i64 + half as i64;
+        let q = q.clamp(0, symbols as i64 - 1) as usize;
+        freqs[q] += 1;
+    }
+    freqs
+}
+
+/// Huffman-coded transfer size in bytes for a tensor: payload plus a
+/// canonical code table (one byte of code length per present symbol plus
+/// a `symbols`-bit presence bitmap).
+pub fn huffman_encoded_bytes(values: &[f32], quant_bits: u32) -> u64 {
+    let freqs = quantize_histogram(values, quant_bits);
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let payload = code.payload_bits(&freqs);
+    let present = freqs.iter().filter(|&&f| f > 0).count() as u64;
+    let table_bits = (1u64 << quant_bits) + present * 8;
+    (payload + table_bits).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros at 8-bit quantization: Huffman ~1.1 bits/elem vs 8.
+        let mut v = vec![0.0f32; 900];
+        v.extend((0..100).map(|i| (i as f32 - 50.0) / 50.0));
+        let bytes = huffman_encoded_bytes(&v, 8);
+        assert!(bytes < 1000 / 2, "encoded {bytes}B for 1000 elems");
+    }
+
+    #[test]
+    fn uniform_distribution_approaches_entropy() {
+        // All 16 symbols equally likely at 4-bit quantization: ~4 bits/elem.
+        let v: Vec<f32> = (0..1600).map(|i| (i % 16) as f32 / 8.0 - 1.0).collect();
+        let freqs = quantize_histogram(&v, 4);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let bits = code.payload_bits(&freqs);
+        let per_elem = bits as f64 / v.len() as f64;
+        assert!((3.5..=5.0).contains(&per_elem), "{per_elem} bits/elem");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        for seed in 0..5u64 {
+            let freqs: Vec<u64> = (0..32).map(|i| (i * seed + 1) % 97 + 1).collect();
+            let code = HuffmanCode::from_frequencies(&freqs);
+            assert!(
+                code.kraft_numerator() <= 1 << 16,
+                "Kraft violated for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimality_vs_fixed_width_on_skewed_input() {
+        let mut freqs = vec![0u64; 16];
+        freqs[0] = 1000;
+        freqs[1] = 10;
+        freqs[2] = 10;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let bits = code.payload_bits(&freqs);
+        let fixed = 1020 * 4;
+        assert!(bits < fixed / 2, "huffman {bits} vs fixed {fixed}");
+        // The dominant symbol gets the shortest code.
+        assert!(code.length(0) <= code.length(1));
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let freqs = vec![0, 42, 0];
+        let code = HuffmanCode::from_frequencies(&freqs);
+        assert_eq!(code.length(1), 1);
+        assert_eq!(code.payload_bits(&freqs), 42);
+    }
+
+    #[test]
+    fn empty_and_all_zero() {
+        let code = HuffmanCode::from_frequencies(&[]);
+        assert_eq!(code.payload_bits(&[]), 0);
+        let bytes = huffman_encoded_bytes(&vec![0.0f32; 64], 8);
+        // One symbol (zero), 1 bit each + table.
+        assert!(bytes < 64, "all-zero encodes tiny, got {bytes}");
+    }
+
+    #[test]
+    fn size_tracks_nnz_on_pruned_tensors() {
+        // The property the attack cares about: for pruned tensors, the
+        // Huffman size grows with nnz.
+        let mk = |nnz: usize| {
+            let mut v = vec![0.0f32; 1024];
+            for (i, x) in v.iter_mut().take(nnz).enumerate() {
+                *x = ((i % 13) as f32 - 6.0) / 6.0;
+            }
+            huffman_encoded_bytes(&v, 8)
+        };
+        let sizes: Vec<u64> = [32, 64, 128, 256, 512].iter().map(|&n| mk(n)).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "sizes not increasing: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn quantizer_histogram_total() {
+        let v: Vec<f32> = (0..100).map(|i| i as f32 / 100.0 - 0.5).collect();
+        let freqs = quantize_histogram(&v, 6);
+        assert_eq!(freqs.iter().sum::<u64>(), 100);
+    }
+}

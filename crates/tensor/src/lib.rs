@@ -1,0 +1,65 @@
+//! Tensor substrate for the HuffDuff reproduction.
+//!
+//! Provides the dense tensor types and numeric kernels used by the victim
+//! CNN (`hd-dnn`) and the sparse transfer encodings used by the
+//! accelerator simulator (`hd-accel`):
+//!
+//! * [`Tensor3`] — a single-sample activation map in `C x H x W` layout,
+//! * [`Tensor4`] — a convolution weight tensor in `K x C x R x S` layout,
+//! * [`conv`], [`pool`], [`norm`] — forward (and im2col-free) kernels,
+//! * [`sparse`] — bitmap / run-length / CSC transfer codecs that determine
+//!   exactly how many bytes cross the DRAM bus for a given tensor.
+//!
+//! All kernels are written for clarity and determinism rather than raw speed;
+//! CIFAR-scale networks run in milliseconds, which is all the attack needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hd_tensor::{Tensor3, Tensor4, conv::{conv2d, Conv2dCfg, Padding}};
+//!
+//! let input = Tensor3::zeros(3, 8, 8);
+//! let weight = Tensor4::zeros(16, 3, 3, 3);
+//! let out = conv2d(&input, &weight, None, &Conv2dCfg { stride: 1, padding: Padding::Same });
+//! assert_eq!((out.c(), out.h(), out.w()), (16, 8, 8));
+//! ```
+
+pub mod conv;
+pub mod dwconv;
+pub mod huffman;
+pub mod norm;
+pub mod pool;
+pub mod shape;
+pub mod sparse;
+pub mod tensor;
+
+pub use shape::Shape3;
+pub use sparse::{CompressionScheme, EncodedSize};
+pub use tensor::{Tensor3, Tensor4};
+
+/// Tolerance below which an activation value counts as zero for nnz purposes.
+///
+/// The accelerator's post-processing unit quantizes activations before
+/// compressing them, so exact floating-point zero testing is appropriate for
+/// post-ReLU values; a small epsilon guards against `-0.0` and denormals.
+pub const ZERO_EPS: f32 = 1e-12;
+
+/// Counts the non-zero entries of a slice under [`ZERO_EPS`].
+pub fn nnz(values: &[f32]) -> usize {
+    values.iter().filter(|v| v.abs() > ZERO_EPS).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_ignores_negative_zero_and_denormals() {
+        assert_eq!(nnz(&[0.0, -0.0, 1e-30, 1.0, -2.0]), 2);
+    }
+
+    #[test]
+    fn nnz_empty() {
+        assert_eq!(nnz(&[]), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shape types shared across the workspace.
+
+use std::fmt;
+
+/// The shape of a single-sample activation tensor: channels x height x width.
+///
+/// # Examples
+///
+/// ```
+/// use hd_tensor::Shape3;
+///
+/// let s = Shape3::new(3, 32, 32);
+/// assert_eq!(s.len(), 3 * 32 * 32);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Channel count.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape3 { c, h, w }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major (C, H, W) flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when an index exceeds its dimension.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_index() {
+        let s = Shape3::new(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(1, 2, 3), 23);
+        assert_eq!(s.index(0, 1, 0), 4);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Shape3::new(0, 5, 5).is_empty());
+        assert!(!Shape3::new(1, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape3::new(3, 32, 32).to_string(), "3x32x32");
+    }
+}

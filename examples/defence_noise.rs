@@ -1,0 +1,107 @@
+//! Defence sketch from paper §9.2: the victim randomly leaves zeros
+//! uncompressed so output transfer volumes carry per-run noise, and the
+//! boundary-effect patterns blur.
+//!
+//! This example wraps the device in a noisy probe target and shows how the
+//! prober's geometry recovery degrades as the noise amplitude grows — and
+//! what the defence costs in extra transfer volume.
+//!
+//! ```text
+//! cargo run --release --example defence_noise
+//! ```
+
+use huffduff::prelude::*;
+use huffduff_core::eval::score_geometry;
+use huffduff_core::prober::{probe, ProbeTarget, ProberConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// A device whose output tensors are padded with a random number of
+/// uncompressed zeros per run (volume-channel noise injection).
+struct NoisyDevice {
+    inner: Device,
+    noise_bytes: u64,
+    rng: RefCell<StdRng>,
+}
+
+impl ProbeTarget for NoisyDevice {
+    fn input_shape(&self) -> hd_tensor::Shape3 {
+        self.inner.input_shape()
+    }
+
+    fn run_probe(&self, image: &Tensor3) -> hd_accel::Trace {
+        let mut trace = self.inner.run(image);
+        if self.noise_bytes == 0 {
+            return trace;
+        }
+        let mut rng = self.rng.borrow_mut();
+        for i in 0..trace.events.len() {
+            let e = trace.events[i];
+            if e.kind != hd_accel::AccessKind::Write {
+                continue;
+            }
+            let stream_ends = trace
+                .events
+                .get(i + 1)
+                .is_none_or(|n| {
+                    n.kind != hd_accel::AccessKind::Write || n.addr != e.addr + e.bytes
+                });
+            if stream_ends {
+                trace.events[i].bytes += rng.gen_range(0..=self.noise_bytes);
+            }
+        }
+        trace
+    }
+}
+
+fn main() {
+    // A small victim so the sweep stays quick.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 8, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 16, 3, 1);
+    b.conv(x, 16, 3, 1);
+    let net = b.build();
+    let mut params = hd_dnn::graph::Params::init(&net, 4);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.75 }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 5);
+
+    println!("noise(B)  probes  geometry-exact");
+    for noise in [0u64, 2, 8, 32, 128] {
+        let target = NoisyDevice {
+            inner: Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2()),
+            noise_bytes: noise,
+            rng: RefCell::new(StdRng::seed_from_u64(noise ^ 0xD1CE)),
+        };
+        let cfg = ProberConfig {
+            shifts: 12,
+            max_probes: 12,
+            stable_probes: 3,
+            kernels: vec![1, 3, 5],
+            strides: vec![1, 2],
+            pools: vec![2, 3],
+            seed: 31,
+        };
+        let res = probe(&target, &cfg).expect("probe runs");
+        let score = score_geometry(&net, &res);
+        println!(
+            "{noise:>8}  {:>6}  {}/{}",
+            res.probes_used, score.correct, score.total
+        );
+    }
+    println!();
+    println!("volume noise violates the one-sided-error assumption: patterns");
+    println!("that should merge get split, so more probes make things worse,");
+    println!("not better. The paper (§9.2) notes a real defence would need to");
+    println!("randomize consistently against repeated trials — and pays DRAM");
+    println!("bandwidth for every padded zero.");
+}

@@ -1,0 +1,77 @@
+//! Quickstart: seal a pruned CNN inside a simulated sparse accelerator,
+//! then steal its architecture from the DRAM bus alone.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use huffduff::prelude::*;
+
+fn main() {
+    // 1. The victim: a small pruned CNN the attacker never sees directly.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 8, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 16, 3, 1);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 10);
+    let net = b.build();
+
+    let mut params = hd_dnn::graph::Params::init(&net, 7);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.75 }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 8);
+
+    println!("victim architecture (hidden from the attacker):\n{net}");
+
+    // 2. Seal it in an Eyeriss-v2-like device. From here on, the attacker
+    //    only sees DRAM bus events: time, address, direction, burst size.
+    let device = Device::new(net, params, AccelConfig::eyeriss_v2());
+
+    // 3. A single inference, as the bus probe sees it.
+    let image = Tensor3::full(3, 16, 16, 0.5);
+    let trace = device.run(&image);
+    println!(
+        "one inference = {} bus events ({} B read, {} B written)",
+        trace.len(),
+        trace.total_bytes(hd_accel::AccessKind::Read),
+        trace.total_bytes(hd_accel::AccessKind::Write),
+    );
+
+    // 4. Attacker-side reconstruction of tensors / layers / dataflow.
+    let analysis = hd_trace::analyze(&trace).expect("trace analyzes");
+    println!("\nattacker's view of the run:\n{}", analysis.report());
+
+    // 5. The full HuffDuff attack: boundary-effect probing + the
+    //    psum-encoding timing channel + first-layer sparsity bound.
+    let cfg = huffduff_core::AttackConfig {
+        prober: huffduff_core::ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        },
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    };
+    let outcome = huffduff_core::run(&device, &cfg).expect("attack succeeds");
+    println!("{}", outcome.report());
+
+    // 6. Sample candidate architectures and rebuild them as trainable nets.
+    for arch in outcome.space.sample(3, 42) {
+        let candidate = outcome.space.build_network(&arch);
+        println!(
+            "candidate k1={}: {} nodes, ready for retraining",
+            arch.k1,
+            candidate.len()
+        );
+    }
+}

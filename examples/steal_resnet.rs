@@ -1,0 +1,73 @@
+//! Steal the full-size CIFAR ResNet-18 victim, including its residual
+//! dataflow graph, and show the ambiguity the channel genuinely leaves.
+//!
+//! ResNet-18 exercises the parts VGG-S does not: residual joins (the
+//! attacker recovers the two-input dataflow from RAW dependencies),
+//! stride-2 stage transitions, 1x1 projection shortcuts, and global
+//! average pooling. At saturated deep layers some geometries are
+//! *iso-footprint equivalent* — indistinguishable from any volume/timing
+//! observable — and the prober reports them in `alternatives`.
+//!
+//! ```text
+//! cargo run --release --example steal_resnet
+//! ```
+
+use huffduff::prelude::*;
+use huffduff_core::eval::{expected_kinds, score_geometry};
+
+fn main() {
+    let net = hd_dnn::zoo::resnet18(10);
+    let mut params = hd_dnn::graph::Params::init(&net, 4);
+    let profile = hd_dnn::prune::paper_profile(&net);
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 5);
+    println!(
+        "victim: CIFAR ResNet-18, {} conv layers, {} weights after pruning",
+        net.conv_nodes().len(),
+        net.sparse_weight_count(&params)
+    );
+
+    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+    let t0 = std::time::Instant::now();
+    let outcome =
+        huffduff_core::run(&device, &huffduff_core::AttackConfig::default()).expect("attack runs");
+    println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
+    println!("{}", outcome.prober.report());
+
+    // Point-estimate accuracy and candidate-set coverage.
+    let score = score_geometry(&net, &outcome.prober);
+    let expected = expected_kinds(&net);
+    let covered = expected
+        .iter()
+        .zip(&outcome.prober.layers)
+        .filter(|(e, l)| l.kind == **e || l.alternatives.contains(e))
+        .count();
+    println!(
+        "geometry: {}/{} exact point estimates, {}/{} covered by candidate sets",
+        score.correct,
+        score.total,
+        covered,
+        expected.len()
+    );
+    for (idx, want, got) in &score.mismatches {
+        let alts = outcome
+            .prober
+            .layers
+            .get(*idx)
+            .map(|l| {
+                l.alternatives
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        println!("  layer {idx}: true {want}, point estimate {got} (candidates: {alts})");
+    }
+
+    println!(
+        "\nsolution space: {} candidates, k1 range [{}, {}] (paper: 44, [30, 73])",
+        outcome.space.count(),
+        outcome.space.k1_candidates.first().unwrap_or(&0),
+        outcome.space.k1_candidates.last().unwrap_or(&0),
+    );
+}

@@ -1,0 +1,55 @@
+//! Steal the full-size VGG-S victim's architecture (paper §8.2 pipeline).
+//!
+//! Builds the 7-conv VGG-S (96-channel 7x7 stem, conv5_3 at 512x512x3x3),
+//! prunes it with the paper-shaped sparsity profile, seals it inside an
+//! Eyeriss-v2-like device, and runs the complete HuffDuff attack. Takes
+//! roughly half a minute in release mode.
+//!
+//! ```text
+//! cargo run --release --example steal_vgg
+//! ```
+
+use huffduff::prelude::*;
+use huffduff_core::eval::{expected_conv_channels, score_geometry};
+
+fn main() {
+    let net = hd_dnn::zoo::vgg_s(10);
+    let mut params = hd_dnn::graph::Params::init(&net, 3);
+    let profile = hd_dnn::prune::paper_profile(&net);
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 4);
+    println!(
+        "victim: VGG-S, {} dense weights, {} after pruning",
+        net.dense_weight_count(&params),
+        net.sparse_weight_count(&params)
+    );
+
+    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+
+    let t0 = std::time::Instant::now();
+    let outcome =
+        huffduff_core::run(&device, &huffduff_core::AttackConfig::default()).expect("attack runs");
+    println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
+    println!("{}", outcome.report());
+
+    // Evaluation only: compare against the ground truth the attacker never had.
+    let score = score_geometry(&net, &outcome.prober);
+    println!(
+        "geometry: {}/{} layers exact ({} mismatches)",
+        score.correct,
+        score.total,
+        score.mismatches.len()
+    );
+    for (idx, expected, got) in &score.mismatches {
+        println!("  layer {idx}: expected {expected}, recovered {got}");
+    }
+
+    let true_k1 = expected_conv_channels(&net)[0];
+    println!(
+        "true K1 = {true_k1}; recovered range covers it: {}",
+        outcome.space.k1_candidates.contains(&true_k1)
+    );
+    println!(
+        "solution space: {} candidates (paper: 66 for VGG-S)",
+        outcome.space.count()
+    );
+}

@@ -1,0 +1,95 @@
+//! End-to-end "adapt the stolen model" flow: attack a trained mini victim,
+//! rebuild a sampled candidate, and retrain it on the attacker's own data
+//! to the victim's sparse footprint (the Figure-4 use case, at toy scale).
+//!
+//! ```text
+//! cargo run --release --example train_candidate
+//! ```
+
+use huffduff::prelude::*;
+use hd_dnn::data::SyntheticImages;
+use hd_dnn::train::{accuracy, normalize_init, train, TrainConfig};
+
+fn main() {
+    // The victim owner's private training data and model.
+    let mut gen = SyntheticImages::cifar_like(21);
+    gen.noise = 0.25;
+    let train_set = gen.dataset(96, 0);
+    let test_set = gen.dataset(48, 500_000);
+    let calib: Vec<Tensor3> = train_set.iter().take(4).map(|(x, _)| x.clone()).collect();
+
+    let victim_net = hd_dnn::zoo::vgg_s_scaled(10, 0.0625);
+    let mut victim_params = hd_dnn::graph::Params::init(&victim_net, 1);
+    normalize_init(&victim_net, &mut victim_params, &calib);
+    let cfg = TrainConfig {
+        epochs: 5,
+        lr: 0.001,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+                lr_decay: 1.0,
+            };
+    train(&victim_net, &mut victim_params, &train_set, &cfg, None);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: victim_net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.75 }))
+            .collect(),
+    };
+    let mask = hd_dnn::prune::magnitude_prune_profile(&victim_net, &mut victim_params, &profile);
+    train(
+        &victim_net,
+        &mut victim_params,
+        &train_set,
+        &TrainConfig { epochs: 3, ..cfg },
+        Some(&mask),
+    );
+    let victim_acc = accuracy(&victim_net, &victim_params, &test_set);
+    let footprint = victim_net.sparse_weight_count(&victim_params);
+    println!("victim accuracy {victim_acc:.2} at {footprint} surviving weights");
+
+    // The attacker steals the architecture through the device side channel…
+    let device = Device::new(victim_net, victim_params, AccelConfig::eyeriss_v2());
+    let attack_cfg = huffduff_core::AttackConfig {
+        prober: huffduff_core::ProberConfig {
+            shifts: 16,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        },
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    };
+    let outcome = huffduff_core::run(&device, &attack_cfg).expect("attack succeeds");
+    println!(
+        "attack found {} candidate architectures",
+        outcome.space.count()
+    );
+
+    // …then retrains one candidate on their *own* data at iso footprint.
+    let arch = &outcome.space.sample(1, 9)[0];
+    let candidate = outcome.space.build_network(arch);
+    let mut cand_params = hd_dnn::graph::Params::init(&candidate, 99);
+    normalize_init(&candidate, &mut cand_params, &calib);
+    train(&candidate, &mut cand_params, &train_set, &cfg, None);
+    let dense = candidate.dense_weight_count(&cand_params);
+    let sparsity = (1.0 - footprint as f64 / dense as f64).clamp(0.0, 0.995);
+    let mask = hd_dnn::prune::magnitude_prune_global(&candidate, &cand_params, sparsity, 4);
+    mask.apply(&mut cand_params);
+    train(
+        &candidate,
+        &mut cand_params,
+        &train_set,
+        &TrainConfig { epochs: 3, ..cfg },
+        Some(&mask),
+    );
+    let cand_acc = accuracy(&candidate, &cand_params, &test_set);
+    println!(
+        "candidate (k1 = {}) accuracy {cand_acc:.2} at {} surviving weights",
+        arch.k1,
+        candidate.sparse_weight_count(&cand_params)
+    );
+    println!("victim {victim_acc:.2} vs stolen-architecture clone {cand_acc:.2} — the paper's Fig. 4 effect at toy scale");
+}

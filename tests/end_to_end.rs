@@ -1,0 +1,308 @@
+//! Cross-crate integration tests: the full attack pipeline against small
+//! victims, exercising every crate boundary.
+
+use huffduff::prelude::*;
+use huffduff_core::eval::score_geometry;
+use huffduff_core::prober::LayerKind;
+
+fn pruned_params(
+    net: &hd_dnn::graph::Network,
+    seed: u64,
+    first: f64,
+    interior: f64,
+) -> hd_dnn::graph::Params {
+    let mut params = hd_dnn::graph::Params::init(net, seed);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { first } else { interior }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(net, &mut params, &profile, seed ^ 0xF00D);
+    params
+}
+
+#[test]
+fn attack_recovers_plain_cnn_end_to_end() {
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 8, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 16, 3, 1);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 10);
+    let net = b.build();
+    let params = pruned_params(&net, 7, 0.45, 0.7);
+    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+
+    let cfg = huffduff_core::AttackConfig {
+        prober: huffduff_core::ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        },
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    };
+    let outcome = huffduff_core::run(&device, &cfg).expect("attack completes");
+
+    // Geometry is exact.
+    let score = score_geometry(&net, &outcome.prober);
+    assert!(score.perfect(), "mismatches: {:?}", score.mismatches);
+
+    // The true first-layer channel count is inside the finalized range.
+    assert!(
+        outcome.space.k1_candidates.contains(&8),
+        "k1 range {:?}",
+        outcome.space.k1_candidates
+    );
+
+    // Timing channel sees the 16/8 ratio.
+    let r = outcome.ratios.ratios[1].1;
+    assert!((r - 2.0).abs() < 0.3, "ratio {r}");
+
+    // Every candidate rebuilds into a runnable network with 10 logits.
+    for arch in outcome.space.sample(3, 1) {
+        let cand = outcome.space.build_network(&arch);
+        let p = hd_dnn::graph::Params::init(&cand, 5);
+        let out = cand.forward(&p, &Tensor3::full(3, 16, 16, 0.4));
+        assert_eq!(out.logits().len(), 10);
+    }
+}
+
+#[test]
+fn attack_recovers_residual_victim() {
+    // A two-block residual victim with a stride-2 projection — the
+    // dataflow-graph recovery and the join-consistency repair both fire.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let stem = b.conv(x, 8, 3, 1);
+    let y = b.conv(stem, 8, 3, 1);
+    let j1 = b.add(stem, y);
+    let y2 = b.conv(j1, 8, 3, 1);
+    let j2 = b.add(j1, y2);
+    let x = b.global_avg_pool(j2);
+    b.linear(x, 10);
+    let net = b.build();
+    let params = pruned_params(&net, 9, 0.45, 0.7);
+    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+
+    let cfg = huffduff_core::ProberConfig {
+        shifts: 12,
+        max_probes: 8,
+        stable_probes: 2,
+        ..Default::default()
+    };
+    let res = huffduff_core::run_prober(&device, &cfg).expect("prober runs");
+
+    // Both adds recovered with two-input dataflow.
+    let adds: Vec<_> = res
+        .layers
+        .iter()
+        .filter(|l| matches!(l.kind, LayerKind::Add))
+        .collect();
+    assert_eq!(adds.len(), 2);
+    for add in adds {
+        assert_eq!(add.inputs.len(), 2);
+    }
+    let score = score_geometry(&net, &res);
+    assert!(
+        score.correct >= score.total - 1,
+        "too many mismatches: {:?}",
+        score.mismatches
+    );
+}
+
+#[test]
+fn information_boundary_attack_uses_only_the_trace() {
+    // The attack consumes a Device only through the ProbeTarget trait; a
+    // trait object proves no oracle access sneaks in.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 12, 12);
+    let x = b.input();
+    b.conv(x, 6, 3, 1);
+    let net = b.build();
+    let params = pruned_params(&net, 3, 0.45, 0.7);
+    let device = Device::new(net, params, AccelConfig::eyeriss_v2());
+    let target: &dyn huffduff_core::ProbeTarget = &device;
+
+    let cfg = huffduff_core::ProberConfig {
+        shifts: 10,
+        max_probes: 6,
+        stable_probes: 2,
+        ..Default::default()
+    };
+    let res = huffduff_core::run_prober(target, &cfg).expect("prober runs");
+    assert_eq!(res.layers.len(), 1);
+    assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+}
+
+#[test]
+fn dense_device_defeats_sparse_attack_premise() {
+    // On a dense (non-compressing) device, output volumes never vary with
+    // probe content — the boundary-effect channel is closed (and
+    // ReverseCNN-style equation solving is the right tool instead).
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 12, 12);
+    let x = b.input();
+    b.conv(x, 6, 5, 1);
+    let net = b.build();
+    let params = hd_dnn::graph::Params::init(&net, 3);
+    let cfg = AccelConfig::eyeriss_v2().with_schemes(
+        hd_tensor::CompressionScheme::Dense,
+        hd_tensor::CompressionScheme::Dense,
+    );
+    let device = Device::new(net, params, cfg);
+
+    let probes = huffduff_core::probe::stripe_probes(device.input_shape(), 8, 2, 5);
+    let mut volumes = std::collections::HashSet::new();
+    for fam in &probes {
+        for img in &fam.images {
+            let analysis = hd_trace::analyze(&device.run(img)).unwrap();
+            volumes.insert(analysis.layers[0].output_bytes);
+        }
+    }
+    assert_eq!(volumes.len(), 1, "dense transfers must not leak nnz");
+}
+
+#[test]
+fn trace_volumes_are_lower_bounds_of_tensor_sizes() {
+    // Eq. 8-10: every observed transfer is at most the dense tensor size.
+    let net = hd_dnn::zoo::vgg_s_scaled(10, 0.125);
+    let params = pruned_params(&net, 11, 0.45, 0.85);
+    let device = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
+    let img = Tensor3::full(3, 32, 32, 0.5);
+    let analysis = hd_trace::analyze(&device.run(&img)).unwrap();
+    let fwd = net.forward(&params, &img);
+
+    // Map observed layers back to nodes (skipping Input and Flatten).
+    let mut node_of_layer = Vec::new();
+    for (id, node) in net.nodes().iter().enumerate() {
+        if !matches!(
+            node.op,
+            hd_dnn::graph::Op::Input | hd_dnn::graph::Op::Flatten
+        ) {
+            node_of_layer.push(id);
+        }
+    }
+    assert_eq!(node_of_layer.len(), analysis.layers.len());
+    for (layer, &node) in analysis.layers.iter().zip(&node_of_layer) {
+        let dense_elems = fwd.value(node).flat().len() as u64;
+        // Bitmap coding adds 1 bit/elem; output bytes <= dense bytes + pad.
+        assert!(
+            layer.output_bytes <= dense_elems + dense_elems / 8 + 16,
+            "layer {} output {}B exceeds dense size {}",
+            layer.index,
+            layer.output_bytes,
+            dense_elems
+        );
+    }
+}
+
+#[test]
+fn footprints_invariant_under_tiled_execution() {
+    // A tiny weight buffer forces multi-pass execution with repeated input
+    // reads; the attacker's interval-merged footprints must not change
+    // (paper §3.2: addresses may be read "possibly more than once").
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 12, 12);
+    let x = b.input();
+    let x = b.conv(x, 16, 3, 1);
+    b.conv(x, 16, 3, 1);
+    let net = b.build();
+    let params = hd_dnn::graph::Params::init(&net, 8);
+    let img = Tensor3::full(3, 12, 12, 0.5);
+
+    let mut tiny_buf = AccelConfig::eyeriss_v2();
+    tiny_buf.weight_glb_bytes = 256; // forces many passes
+    let roomy = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
+    let tiled = Device::new(net, params, tiny_buf);
+
+    let a = hd_trace::analyze(&roomy.run(&img)).unwrap();
+    let b = hd_trace::analyze(&tiled.run(&img)).unwrap();
+    // More raw read traffic under tiling...
+    assert!(
+        tiled.run(&img).total_bytes(hd_accel::AccessKind::Read)
+            > roomy.run(&img).total_bytes(hd_accel::AccessKind::Read)
+    );
+    // ...but identical recovered footprints and dataflow.
+    assert_eq!(a.layers.len(), b.layers.len());
+    for (la, lb) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(la.weight_bytes, lb.weight_bytes, "layer {}", la.index);
+        assert_eq!(la.input_bytes, lb.input_bytes, "layer {}", la.index);
+        assert_eq!(la.output_bytes, lb.output_bytes, "layer {}", la.index);
+        assert_eq!(la.inputs, lb.inputs);
+    }
+}
+
+#[test]
+fn candidates_rebuild_residual_victims() {
+    // Reconstruction through Add joins: channel harmonization must make
+    // both join inputs agree even when timing noise rounds them apart.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let stem = b.conv(x, 8, 3, 1);
+    let y = b.conv(stem, 8, 3, 1);
+    let j = b.add(stem, y);
+    let x = b.global_avg_pool(j);
+    b.linear(x, 10);
+    let net = b.build();
+    let params = pruned_params(&net, 13, 0.45, 0.7);
+    let device = Device::new(net, params, AccelConfig::eyeriss_v2());
+
+    let cfg = huffduff_core::AttackConfig {
+        prober: huffduff_core::ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        },
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    };
+    let outcome = huffduff_core::run(&device, &cfg).expect("attack completes");
+    for arch in outcome.space.sample(3, 2) {
+        let cand = outcome.space.build_network(&arch);
+        // The rebuilt graph contains a residual join and runs end to end.
+        let has_add = cand
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, hd_dnn::graph::Op::Add { .. }));
+        assert!(has_add, "candidate lost the residual join");
+        let p = hd_dnn::graph::Params::init(&cand, 3);
+        let out = cand.forward(&p, &Tensor3::full(3, 16, 16, 0.4));
+        assert_eq!(out.logits().len(), 10);
+    }
+}
+
+#[test]
+fn separate_batch_norm_leaks_exact_channel_counts() {
+    // Paper §2 "Broader application": executing BN as a separate pass
+    // writes dense psums to DRAM, so the attacker reads P*Q*K exactly and
+    // the channel-count uncertainty collapses to nothing.
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 11, 3, 1);
+    b.conv(x, 23, 3, 1);
+    let net = b.build();
+    let params = pruned_params(&net, 21, 0.45, 0.8);
+    let mut cfg = AccelConfig::eyeriss_v2();
+    cfg.separate_batch_norm = true;
+    let device = Device::new(net, params, cfg);
+
+    // A few probe runs with different inputs (psum sizes must not vary).
+    let probes = huffduff_core::probe::stripe_probes(device.input_shape(), 4, 1, 3);
+    let analyses: Vec<hd_trace::TraceAnalysis> = probes[0]
+        .images
+        .iter()
+        .map(|img| hd_trace::analyze(&device.run(img)).unwrap())
+        .collect();
+
+    // With separate BN, each conv becomes (psum-write layer, bn layer):
+    // observed layers: conv1-psum(0), conv1-bn(1), conv2-psum(2), conv2-bn(3).
+    let hints = vec![(0usize, Some((16usize, 16usize))), (2, Some((16, 16)))];
+    let exact = huffduff_core::reversecnn::exact_channels_from_dense_psums(&analyses, &hints, 8);
+    assert_eq!(exact, vec![(0, 11), (2, 23)], "exact K recovery failed");
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on cross-crate invariants.
+
+use hd_tensor::conv::{conv2d, Conv2dCfg, Padding};
+use hd_tensor::{CompressionScheme, Tensor3, Tensor4};
+use huffduff_core::pattern::Pattern;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Codec sizes are monotone in nnz for fixed tensor length — the
+    /// property the whole volume channel relies on.
+    #[test]
+    fn bitmap_size_monotone_in_nnz(len in 1usize..256, a in 0usize..256, b in 0usize..256) {
+        let (a, b) = (a % (len + 1), b % (len + 1));
+        let mk = |nnz: usize| {
+            let mut v = vec![0.0f32; len];
+            for x in v.iter_mut().take(nnz) {
+                *x = 1.0;
+            }
+            CompressionScheme::Bitmap.encoded_size(&v, 8).bytes
+        };
+        if a <= b {
+            prop_assert!(mk(a) <= mk(b));
+        } else {
+            prop_assert!(mk(a) >= mk(b));
+        }
+    }
+
+    /// Interior shift equivariance: shifting a feature column that never
+    /// touches the kernel's boundary reach permutes the conv output, so
+    /// the post-ReLU nnz is invariant (paper §5.2, the prober's bedrock).
+    #[test]
+    fn interior_shift_preserves_nnz(
+        seed in 0u64..1000,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        col in 0usize..4,
+        amp in -2.0f32..2.0,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut w = Tensor4::zeros(4, 2, kernel, kernel);
+        w.init_he(&mut rng);
+        let amp = if amp.abs() < 0.1 { 1.0 } else { amp };
+
+        let w_img = 16usize;
+        let margin = kernel; // keep both placements clear of both edges
+        let c1 = margin + col;
+        let c2 = c1 + 1;
+        prop_assume!(c2 + margin < w_img);
+
+        let place = |cx: usize| {
+            let mut img = Tensor3::zeros(2, 8, w_img);
+            for ch in 0..2 {
+                for y in 0..8 {
+                    img.set(ch, y, cx, amp * (1.0 + ch as f32));
+                }
+            }
+            let mut out = conv2d(&img, &w, Some(&[0.3, -0.2, 0.1, 0.0]), &Conv2dCfg {
+                stride: 1,
+                padding: Padding::Same,
+            });
+            out.relu_inplace();
+            out.nnz()
+        };
+        prop_assert_eq!(place(c1), place(c2));
+    }
+
+    /// Pattern refinement is a meet: the result is a coarsening of neither
+    /// operand's strict refinements, and refining with the truth never
+    /// splits classes the truth keeps together.
+    #[test]
+    fn measurement_is_coarsening_of_truth(
+        truth in prop::collection::vec(0u8..4, 4..12),
+        merged in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let true_pat = Pattern::of(&truth);
+        // One-sided errors merge whole classes (an unobservable boundary
+        // effect makes two nnz values collide for *every* shift in those
+        // classes), never split them: merged classes all read as 255.
+        let measured: Vec<u8> = truth
+            .iter()
+            .map(|&t| if merged[t as usize] { 255 } else { t })
+            .collect();
+        let meas_pat = Pattern::of(&measured);
+        // The measurement accepts the truth...
+        prop_assert!(meas_pat.is_coarsening_of(&true_pat));
+        // ...and refining the measurement with the truth recovers the truth.
+        let refined = meas_pat.refine(&true_pat);
+        prop_assert_eq!(&refined, &true_pat);
+    }
+
+    /// Trace analysis conserves bytes: the sum of per-layer output bytes
+    /// equals total write traffic minus the host-DMA input upload.
+    #[test]
+    fn trace_analysis_conserves_write_bytes(seed in 0u64..50, k in 2usize..10) {
+        let mut b = hd_dnn::graph::NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, k, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, k, 3, 1);
+        let net = b.build();
+        let params = hd_dnn::graph::Params::init(&net, seed);
+        let device = hd_accel::Device::new(net, params, hd_accel::AccelConfig::eyeriss_v2());
+        let trace = device.run(&Tensor3::full(2, 8, 8, 0.5));
+        let analysis = hd_trace::analyze(&trace).unwrap();
+        let total_writes = trace.total_bytes(hd_accel::AccessKind::Write);
+        let layer_sum: u64 = analysis.layers.iter().map(|l| l.output_bytes).sum();
+        let input_bytes = analysis.input_tensor().bytes;
+        prop_assert_eq!(total_writes, layer_sum + input_bytes);
+    }
+}
