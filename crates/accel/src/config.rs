@@ -243,9 +243,7 @@ mod tests {
     fn dual_channel_doubles_bandwidth() {
         let s = DramConfig::new(DramKind::Lpddr4, 1);
         let d = DramConfig::new(DramKind::Lpddr4, 2);
-        assert!(
-            (d.bandwidth_bytes_per_sec() - 2.0 * s.bandwidth_bytes_per_sec()).abs() < 1.0
-        );
+        assert!((d.bandwidth_bytes_per_sec() - 2.0 * s.bandwidth_bytes_per_sec()).abs() < 1.0);
     }
 
     #[test]
@@ -263,7 +261,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(DramConfig::new(DramKind::Lpddr3, 1).to_string(), "LPDDR3-s");
-        assert_eq!(DramConfig::new(DramKind::Lpddr4x, 2).to_string(), "LPDDR4X-d");
+        assert_eq!(
+            DramConfig::new(DramKind::Lpddr4x, 2).to_string(),
+            "LPDDR4X-d"
+        );
     }
 
     #[test]
@@ -286,8 +287,7 @@ mod tests {
         let base = AccelConfig::eyeriss_v2();
         let scaled = base.clone().with_glb_scale(2.0);
         assert!(
-            (scaled.glb_bandwidth_bytes_per_sec() - 2.0 * base.glb_bandwidth_bytes_per_sec())
-                .abs()
+            (scaled.glb_bandwidth_bytes_per_sec() - 2.0 * base.glb_bandwidth_bytes_per_sec()).abs()
                 < 1.0
         );
     }

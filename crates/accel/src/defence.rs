@@ -15,11 +15,10 @@
 //!   property the prober relies on, but the paper notes repeated trials
 //!   could average it out.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Device-side volume-channel countermeasure.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum Defence {
     /// No countermeasure (the paper's threat model).
     #[default]
@@ -39,29 +38,70 @@ pub enum Defence {
     },
 }
 
-
 /// Stateful noise source for [`Defence::RandomZeros`] (xorshift; the
 /// device only needs unpredictability from the attacker's viewpoint).
-#[derive(Clone, Debug)]
+///
+/// The state is an [`AtomicU64`] rather than a `Cell` so the simulator is
+/// `Sync` and the prober can fan inferences across threads. Note the
+/// generator is only *schedule-independent* when each run gets its own
+/// state (see [`NoiseState::for_run`]); sharing one instance across
+/// concurrent runs stays data-race-free but interleaves the stream.
+#[derive(Debug, Default)]
 pub struct NoiseState {
-    state: Cell<u64>,
+    state: AtomicU64,
+}
+
+impl Clone for NoiseState {
+    fn clone(&self) -> Self {
+        NoiseState {
+            state: AtomicU64::new(self.state.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl NoiseState {
     /// Creates the generator.
     pub fn new(seed: u64) -> Self {
         NoiseState {
-            state: Cell::new(seed | 1),
+            state: AtomicU64::new(seed | 1),
         }
+    }
+
+    /// Creates the generator for one device run, mixing the defence seed
+    /// with a per-run discriminator (the device hashes the input image).
+    ///
+    /// Seeding per run — instead of streaming one generator across runs —
+    /// makes the noise a pure function of `(seed, run)`: parallel and
+    /// serial probe executions observe bit-identical padding no matter how
+    /// runs interleave, while distinct probe images still draw distinct
+    /// noise (which is what the defence needs to perturb the prober).
+    pub fn for_run(seed: u64, run_discriminator: u64) -> Self {
+        // SplitMix64 finalizer: avalanche the combined seed so nearby
+        // discriminators (similar images) produce unrelated streams.
+        let mut z = seed ^ run_discriminator ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        NoiseState::new(z ^ (z >> 31))
     }
 
     /// Next padding amount in `0..=max`.
     pub fn next_padding(&self, max: u64) -> u64 {
-        let mut x = self.state.get();
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state.set(x);
+        let x = self
+            .state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut x| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Some(x)
+            })
+            .map(|prev| {
+                let mut x = prev;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .expect("fetch_update closure never returns None");
         if max == 0 {
             0
         } else {
@@ -121,6 +161,27 @@ mod tests {
             seen.insert(p);
         }
         assert!(seen.len() > 4, "noise should vary: {seen:?}");
+    }
+
+    #[test]
+    fn per_run_noise_is_pure_in_seed_and_run() {
+        let a = NoiseState::for_run(7, 0xABCD);
+        let b = NoiseState::for_run(7, 0xABCD);
+        for _ in 0..10 {
+            assert_eq!(a.next_padding(100), b.next_padding(100));
+        }
+        // A different run discriminator yields a different stream.
+        let c = NoiseState::for_run(7, 0xABCE);
+        let d = NoiseState::for_run(7, 0xABCD);
+        let vc: Vec<u64> = (0..8).map(|_| c.next_padding(u64::MAX - 1)).collect();
+        let vd: Vec<u64> = (0..8).map(|_| d.next_padding(u64::MAX - 1)).collect();
+        assert_ne!(vc, vd);
+    }
+
+    #[test]
+    fn noise_state_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<NoiseState>();
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct Device {
     params: Params,
     cfg: AccelConfig,
     weight_regions: Vec<Option<(u64, u64)>>, // (addr, bytes) per node
-    noise: NoiseState,
+    // Base seed for RandomZeros noise. The generator itself is built per
+    // run (seeded with this plus an image hash) so `run(&self)` is Sync
+    // and noise is independent of how concurrent runs interleave.
+    noise_seed: u64,
 }
 
 /// Ground-truth view handed out by [`Device::oracle`] for evaluation only.
@@ -63,8 +66,14 @@ impl Device {
             params,
             cfg,
             weight_regions,
-            noise: NoiseState::new(noise_seed),
+            noise_seed,
         }
+    }
+
+    /// Per-run noise generator: a pure function of the defence seed and
+    /// the input image, so repeated or concurrent runs are reproducible.
+    fn noise_for(&self, image: &Tensor3) -> NoiseState {
+        NoiseState::for_run(self.noise_seed, fnv1a_f32(image.data()))
     }
 
     /// The accelerator configuration (public on a real device's datasheet).
@@ -94,6 +103,7 @@ impl Device {
     ///
     /// Panics if the image shape does not match [`Device::input_shape`].
     pub fn run(&self, image: &Tensor3) -> Trace {
+        let noise = self.noise_for(image);
         let trace = self.net.forward(&self.params, image);
         let mut out = Trace::default();
         let mut t: u64 = 0;
@@ -214,7 +224,7 @@ impl Device {
 
             // 4) Encode + writeback phase: the timing side channel.
             let out_value = &trace.traces[id].out;
-            let out_bytes = self.value_transfer_bytes(out_value);
+            let out_bytes = self.value_transfer_bytes(out_value, &noise);
             let psum_elems = out_value.flat().len() as u64;
             let timing = encode_timing(&self.cfg, psum_elems, out_bytes);
             let region = allocator.alloc(out_bytes);
@@ -239,6 +249,7 @@ impl Device {
     /// modelling convenience for experiments; the attacker derives the same
     /// information from the trace write timestamps.
     pub fn encode_timings(&self, image: &Tensor3) -> Vec<(NodeId, EncodeTiming)> {
+        let noise = self.noise_for(image);
         let trace = self.net.forward(&self.params, image);
         let mut v = Vec::new();
         for (id, node) in self.net.nodes().iter().enumerate() {
@@ -246,7 +257,7 @@ impl Device {
                 continue;
             }
             let out_value = &trace.traces[id].out;
-            let out_bytes = self.value_transfer_bytes(out_value);
+            let out_bytes = self.value_transfer_bytes(out_value, &noise);
             let psum_elems = out_value.flat().len() as u64;
             v.push((id, encode_timing(&self.cfg, psum_elems, out_bytes)));
         }
@@ -272,7 +283,7 @@ impl Device {
         crate::energy::estimate_energy(model, &self.cfg, &trace, macs, psums)
     }
 
-    fn value_transfer_bytes(&self, v: &Value) -> u64 {
+    fn value_transfer_bytes(&self, v: &Value, noise: &NoiseState) -> u64 {
         let base = self
             .cfg
             .act_scheme
@@ -285,10 +296,8 @@ impl Device {
                 for c in 0..t.c() {
                     for y in 0..h {
                         for x in 0..w {
-                            let on_edge = y < *band
-                                || x < *band
-                                || y + *band >= h
-                                || x + *band >= w;
+                            let on_edge =
+                                y < *band || x < *band || y + *band >= h || x + *band >= w;
                             if on_edge && t.at(c, y, x) == 0.0 {
                                 zeros += 1;
                             }
@@ -299,7 +308,7 @@ impl Device {
             }
             _ => 0,
         };
-        base + defence_padding_bytes(&self.cfg.defence, &self.noise, edge_zero_cells, self.cfg.act_bits)
+        base + defence_padding_bytes(&self.cfg.defence, noise, edge_zero_cells, self.cfg.act_bits)
     }
 
     fn compute_duration_ps(&self, id: NodeId) -> u64 {
@@ -411,6 +420,19 @@ fn align(addr: u64) -> u64 {
     (addr + 0xFFF) & !0xFFF
 }
 
+/// FNV-1a over the raw bit patterns of an f32 slice; used as the per-run
+/// discriminator for defence noise (bit-exact, platform-independent).
+fn fnv1a_f32(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
 fn bytes_duration_ps(bytes: u64, bw_bytes_per_sec: f64) -> u64 {
     (bytes as f64 / bw_bytes_per_sec * 1e12).round() as u64
 }
@@ -459,8 +481,7 @@ fn effective_macs(net: &Network, params: &Params, id: NodeId) -> f64 {
             let out = net.value_shape(id).as_map().unwrap();
             let p = params.conv(id);
             let density = p.w.nnz() as f64 / p.w.len().max(1) as f64;
-            (out.h * out.w) as f64 * p.w.len() as f64 / (spec.stride * spec.stride) as f64
-                * density
+            (out.h * out.w) as f64 * p.w.len() as f64 / (spec.stride * spec.stride) as f64 * density
         }
         Op::DwConv { .. } => {
             let out = net.value_shape(id).as_map().unwrap();
@@ -472,9 +493,7 @@ fn effective_macs(net: &Network, params: &Params, id: NodeId) -> f64 {
             let p = params.linear(id);
             hd_tensor::nnz(p.w) as f64
         }
-        Op::Pool { .. } | Op::Add { .. } | Op::GlobalAvgPool => {
-            net.value_shape(id).len() as f64
-        }
+        Op::Pool { .. } | Op::Add { .. } | Op::GlobalAvgPool => net.value_shape(id).len() as f64,
         _ => 0.0,
     }
 }
@@ -522,6 +541,39 @@ mod tests {
         let dev = tiny_device();
         let img = Tensor3::full(2, 8, 8, 0.5);
         assert_eq!(dev.run(&img), dev.run(&img));
+    }
+
+    #[test]
+    fn device_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Device>();
+    }
+
+    #[test]
+    fn random_zeros_noise_is_per_image_not_per_call_order() {
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        b.conv(x, 4, 3, 1);
+        let net = b.build();
+        let params = Params::init(&net, 42);
+        let mut cfg = AccelConfig::eyeriss_v2();
+        cfg.defence = Defence::RandomZeros {
+            max_bytes: 64,
+            seed: 9,
+        };
+        let dev = Device::new(net, params, cfg);
+        let a = Tensor3::full(2, 8, 8, 0.5);
+        let b = Tensor3::full(2, 8, 8, 0.25);
+        // Interleaving runs of different images must not change any trace:
+        // noise depends on (seed, image), not on device call history.
+        let ta1 = dev.run(&a);
+        let tb1 = dev.run(&b);
+        let tb2 = dev.run(&b);
+        let ta2 = dev.run(&a);
+        assert_eq!(ta1, ta2);
+        assert_eq!(tb1, tb2);
+        // ...while distinct images still draw distinct noise streams.
+        assert_ne!(ta1, tb1);
     }
 
     #[test]

@@ -49,11 +49,15 @@ impl EncodeTiming {
 
     /// The GLB-bandwidth multiplier at which this layer would flip to
     /// DRAM-bound (>= 1.0 when currently GLB-bound).
+    ///
+    /// A 0-element layer (both sides take zero time) is already at the
+    /// flip point, so it reports `1.0`; only a genuinely free DRAM side
+    /// with real GLB work reports `INFINITY` (it can never flip).
     pub fn flip_multiplier(&self) -> f64 {
-        if self.dram_time_ps == 0 {
-            f64::INFINITY
-        } else {
-            self.glb_time_ps as f64 / self.dram_time_ps as f64
+        match (self.glb_time_ps, self.dram_time_ps) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (g, d) => g as f64 / d as f64,
         }
     }
 }
@@ -147,6 +151,22 @@ mod tests {
         let cfg = AccelConfig::eyeriss_v2();
         let t = encode_timing(&cfg, 1_000, 0);
         assert_eq!(t.first_write_offset_ps, 0);
+    }
+
+    #[test]
+    fn degenerate_zero_element_layer_flips_at_one() {
+        // A 0-element layer: no psums to drain, nothing to write. The old
+        // code returned INFINITY (and NaN-adjacent math downstream); the
+        // degenerate case is defined as already at the flip point.
+        let cfg = AccelConfig::eyeriss_v2();
+        let t = encode_timing(&cfg, 0, 0);
+        assert_eq!(t.glb_time_ps, 0);
+        assert_eq!(t.dram_time_ps, 0);
+        assert_eq!(t.flip_multiplier(), 1.0);
+        assert!(t.flip_multiplier().is_finite());
+        // Real GLB work with a free DRAM side still reports "never flips".
+        let t = encode_timing(&cfg, 1_000, 0);
+        assert_eq!(t.flip_multiplier(), f64::INFINITY);
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod trace_event;
 
 pub use config::{AccelConfig, DramConfig, DramKind};
 pub use defence::Defence;
-pub use energy::{EnergyModel, EnergyReport};
 pub use device::{Device, Oracle};
 pub use encoder::{encode_timing, EncodeBound, EncodeTiming};
+pub use energy::{EnergyModel, EnergyReport};
 pub use pipeline::{simulate_drain, PipelineResult};
 pub use trace_event::{AccessKind, Trace, TraceEvent};

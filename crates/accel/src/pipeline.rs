@@ -91,7 +91,8 @@ pub fn simulate_drain(cfg: &AccelConfig, psum_elems: u64, compressed_bytes: u64)
         now_ps += cycle_ps;
         buffered += bytes_per_row;
         // Opportunistically drain full bursts that DRAM can take now.
-        while buffered >= cfg.burst_bytes as f64 && dram_free_at <= now_ps
+        while buffered >= cfg.burst_bytes as f64
+            && dram_free_at <= now_ps
             && emitted_bursts < total_bursts
         {
             let start = now_ps.max(dram_free_at);
@@ -150,10 +151,7 @@ mod tests {
         assert_eq!(sim.bound, EncodeBound::GlbBound);
         let a = analytic.observable_window_ps() as f64;
         let s = sim.observable_window_ps() as f64;
-        assert!(
-            (a - s).abs() / a < 0.15,
-            "analytic {a} vs event-level {s}"
-        );
+        assert!((a - s).abs() / a < 0.15, "analytic {a} vs event-level {s}");
     }
 
     #[test]
@@ -171,10 +169,7 @@ mod tests {
         assert_eq!(sim.bound, EncodeBound::DramBound);
         let a = analytic.duration_ps as f64;
         let s = sim.last_write_ps as f64;
-        assert!(
-            (a - s).abs() / a < 0.15,
-            "analytic {a} vs event-level {s}"
-        );
+        assert!((a - s).abs() / a < 0.15, "analytic {a} vs event-level {s}");
     }
 
     #[test]

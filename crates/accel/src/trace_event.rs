@@ -32,7 +32,11 @@ impl fmt::Display for TraceEvent {
             AccessKind::Read => "R",
             AccessKind::Write => "W",
         };
-        write!(f, "{:>12}ps {k} 0x{:08x} +{}", self.time_ps, self.addr, self.bytes)
+        write!(
+            f,
+            "{:>12}ps {k} 0x{:08x} +{}",
+            self.time_ps, self.addr, self.bytes
+        )
     }
 }
 
@@ -137,13 +141,14 @@ impl Trace {
                     reason,
                 })
             };
-            let time_ps = field("missing time")?
-                .trim()
-                .parse()
-                .map_err(|_| ParseTraceError::Malformed {
-                    line: i + 1,
-                    reason: "bad time",
-                })?;
+            let time_ps =
+                field("missing time")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseTraceError::Malformed {
+                        line: i + 1,
+                        reason: "bad time",
+                    })?;
             let kind = match field("missing kind")?.trim() {
                 "R" | "r" => AccessKind::Read,
                 "W" | "w" => AccessKind::Write,
@@ -164,13 +169,14 @@ impl Trace {
                 line: i + 1,
                 reason: "bad addr",
             })?;
-            let bytes = field("missing bytes")?
-                .trim()
-                .parse()
-                .map_err(|_| ParseTraceError::Malformed {
-                    line: i + 1,
-                    reason: "bad bytes",
-                })?;
+            let bytes =
+                field("missing bytes")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseTraceError::Malformed {
+                        line: i + 1,
+                        reason: "bad bytes",
+                    })?;
             events.push(TraceEvent {
                 time_ps,
                 addr,

@@ -130,12 +130,7 @@ pub fn mim(
     let mut momentum = vec![0.0f32; image.data().len()];
     for _ in 0..cfg.steps {
         let grad = input_gradient(net, params, &adv, target);
-        let l1: f32 = grad
-            .data()
-            .iter()
-            .map(|v| v.abs())
-            .sum::<f32>()
-            .max(1e-12);
+        let l1: f32 = grad.data().iter().map(|v| v.abs()).sum::<f32>().max(1e-12);
         for (m, g) in momentum.iter_mut().zip(grad.data()) {
             *m = decay * *m + g / l1;
         }
@@ -333,7 +328,10 @@ mod tests {
         let before = cross_entropy(net.forward(&params, img).logits(), target).0;
         let adv = bim(&net, &params, img, target, &cfg);
         let after = cross_entropy(net.forward(&params, &adv).logits(), target).0;
-        assert!(after < before, "target loss did not drop: {before} -> {after}");
+        assert!(
+            after < before,
+            "target loss did not drop: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -372,7 +370,10 @@ mod tests {
         }
         let before = cross_entropy(net.forward(&params, img).logits(), target).0;
         let after = cross_entropy(net.forward(&params, &adv).logits(), target).0;
-        assert!(after < before, "target loss did not drop: {before} -> {after}");
+        assert!(
+            after < before,
+            "target loss did not drop: {before} -> {after}"
+        );
     }
 
     #[test]

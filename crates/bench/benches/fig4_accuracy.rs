@@ -27,8 +27,8 @@ fn bench(c: &mut Criterion) {
                     lr: 0.01,
                     momentum: 0.9,
                     weight_decay: 0.0,
-                lr_decay: 1.0,
-            },
+                    lr_decay: 1.0,
+                },
                 None,
             )
         })

@@ -1,0 +1,97 @@
+//! Bench for the parallel probe executor: runs the full VGG-S probe with
+//! the serial executor (`parallelism = Some(1)`) and the parallel one
+//! (`parallelism = None`, all cores), asserts the two `ProberResult`s are
+//! bit-identical, and writes the measured wall-clock numbers to
+//! `BENCH_prober_parallel.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p hd-bench --bench fig_prober_parallel
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hd_bench::victims::{paper_victim, Model};
+use huffduff_core::prober::{probe, ProberConfig};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Times `probe(device, cfg)` under criterion, recording every sample
+/// (including the warmup, which the caller discards).
+fn timed_bench(
+    c: &mut Criterion,
+    id: &str,
+    device: &hd_accel::Device,
+    cfg: &ProberConfig,
+) -> (huffduff_core::prober::ProberResult, Vec<f64>) {
+    let times = Mutex::new(Vec::new());
+    let last = Mutex::new(None);
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            let r = probe(device, cfg).expect("probe succeeds");
+            times.lock().unwrap().push(t0.elapsed().as_secs_f64());
+            *last.lock().unwrap() = Some(r);
+        })
+    });
+    let mut times = times.into_inner().unwrap();
+    times.remove(0); // warmup sample
+    (last.into_inner().unwrap().expect("probe ran"), times)
+}
+
+fn bench(c: &mut Criterion) {
+    let (device, _) = paper_victim(Model::VggS, 3);
+    let serial_cfg = ProberConfig::default().with_parallelism(Some(1));
+    let parallel_cfg = ProberConfig::default(); // parallelism: None = all cores
+    let workers = parallel_cfg.effective_parallelism(parallel_cfg.shifts);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let (serial, serial_s) = timed_bench(c, "vgg_probe_serial", &device, &serial_cfg);
+    let (parallel, parallel_s) = timed_bench(c, "vgg_probe_parallel", &device, &parallel_cfg);
+    assert_eq!(
+        serial, parallel,
+        "parallel probe must be bit-identical to serial"
+    );
+
+    let mean = |ts: &[f64]| ts.iter().sum::<f64>() / ts.len() as f64;
+    let (s_mean, p_mean) = (mean(&serial_s), mean(&parallel_s));
+    println!(
+        "serial {s_mean:.2}s vs parallel {p_mean:.2}s on {workers} worker(s) \
+         ({host_cores} host cores): {:.2}x, results identical",
+        s_mean / p_mean
+    );
+
+    let fmt_samples = |ts: &[f64]| {
+        ts.iter()
+            .map(|t| format!("{t:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fig_prober_parallel\",\n  \"victim\": \"VGG-S\",\n  \
+         \"host_cores\": {host_cores},\n  \"serial\": {{ \"mean_s\": {s_mean:.3}, \
+         \"samples_s\": [{}] }},\n  \"parallel\": {{ \"workers\": {workers}, \
+         \"mean_s\": {p_mean:.3}, \"samples_s\": [{}] }},\n  \
+         \"speedup\": {:.3},\n  \"results_bit_identical\": true,\n  \"note\": \"{}\"\n}}\n",
+        fmt_samples(&serial_s),
+        fmt_samples(&parallel_s),
+        s_mean / p_mean,
+        if workers == 1 {
+            "recorded on a 1-core host: the executor clamps to 1 worker, so both rows \
+             measure the serial path and any speedup is sample noise"
+        } else {
+            "speedup is mean serial / mean parallel wall-clock on this host"
+        },
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_prober_parallel.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_prober_parallel.json");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench
+}
+criterion_main!(benches);

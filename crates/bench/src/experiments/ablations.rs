@@ -24,9 +24,15 @@ pub fn codec_ablation(scale: Scale) -> Table {
     let schemes = [
         (CompressionScheme::Dense, "no"),
         (CompressionScheme::Bitmap, "yes"),
-        (CompressionScheme::RunLength { run_bits: 5 }, "approximately"),
+        (
+            CompressionScheme::RunLength { run_bits: 5 },
+            "approximately",
+        ),
         (CompressionScheme::Csc { offset_bits: 10 }, "yes"),
-        (CompressionScheme::Huffman { quant_bits: 8 }, "approximately"),
+        (
+            CompressionScheme::Huffman { quant_bits: 8 },
+            "approximately",
+        ),
     ];
     let image = Tensor3::full(3, 32, 32, 0.4);
     let mut dense_bytes = 0u64;
@@ -55,7 +61,12 @@ pub fn codec_ablation(scale: Scale) -> Table {
 pub fn defence_ablation(scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation — §9.2 defences vs prober (and their energy bill)",
-        &["defence", "probes used", "geometry exact", "energy vs baseline"],
+        &[
+            "defence",
+            "probes used",
+            "geometry exact",
+            "energy vs baseline",
+        ],
     );
     let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
     let x = b.input();
@@ -70,8 +81,14 @@ pub fn defence_ablation(scale: Scale) -> Table {
 
     let mut defences: Vec<(String, hd_accel::Defence)> = vec![
         ("none".into(), hd_accel::Defence::None),
-        ("pad-edges band=1".into(), hd_accel::Defence::PadEdges { band: 1 }),
-        ("pad-edges band=2".into(), hd_accel::Defence::PadEdges { band: 2 }),
+        (
+            "pad-edges band=1".into(),
+            hd_accel::Defence::PadEdges { band: 1 },
+        ),
+        (
+            "pad-edges band=2".into(),
+            hd_accel::Defence::PadEdges { band: 2 },
+        ),
     ];
     let noise_levels: &[u64] = match scale {
         Scale::Smoke | Scale::Fast => &[8, 64],
@@ -108,6 +125,7 @@ pub fn defence_ablation(scale: Scale) -> Table {
             strides: vec![1, 2],
             pools: vec![2, 3],
             seed: 31,
+            parallelism: None,
         };
         let res = probe(&device, &cfg).expect("probe runs");
         let score = score_geometry(&net, &res);
@@ -119,7 +137,9 @@ pub fn defence_ablation(scale: Scale) -> Table {
         ]);
     }
     t.push_note("pad-edges blanks the boundary signal deterministically; random zeros breaks the one-sided-error assumption");
-    t.push_note("both defences pay DRAM bandwidth/energy on every inference (paper §9.2: non-trivial)");
+    t.push_note(
+        "both defences pay DRAM bandwidth/energy on every inference (paper §9.2: non-trivial)",
+    );
     t
 }
 
@@ -162,6 +182,7 @@ pub fn probe_budget_ablation(scale: Scale) -> Table {
             strides: vec![1, 2],
             pools: vec![2, 3],
             seed: 17,
+            parallelism: None,
         };
         let res = probe(&device, &cfg).expect("probe runs");
         let score = score_geometry(&net, &res);
@@ -184,13 +205,8 @@ pub fn generality_sweep(scale: Scale) -> Table {
         "Ablation — generality across accelerators and victims",
         &["victim", "accelerator", "layers", "exact", "covered"],
     );
-    let mut entries: Vec<(&str, hd_dnn::graph::Network, AccelConfig)> = vec![
-        (
-            "VGG-S",
-            hd_dnn::zoo::vgg_s(10),
-            AccelConfig::scnn_like(),
-        ),
-    ];
+    let mut entries: Vec<(&str, hd_dnn::graph::Network, AccelConfig)> =
+        vec![("VGG-S", hd_dnn::zoo::vgg_s(10), AccelConfig::scnn_like())];
     if scale == Scale::Full {
         entries.push(("VGG-16", hd_dnn::zoo::vgg16(10), AccelConfig::eyeriss_v2()));
         entries.push(("VGG-16", hd_dnn::zoo::vgg16(10), AccelConfig::scnn_like()));
@@ -247,9 +263,8 @@ mod tests {
     #[test]
     fn defence_noise_degrades_recovery() {
         let t = defence_ablation(Scale::Fast);
-        let exact_of = |row: &Vec<String>| -> usize {
-            row[2].split('/').next().unwrap().parse().unwrap()
-        };
+        let exact_of =
+            |row: &Vec<String>| -> usize { row[2].split('/').next().unwrap().parse().unwrap() };
         let clean = exact_of(&t.rows[0]);
         let noisy = exact_of(t.rows.last().unwrap());
         assert!(clean >= noisy, "clean {clean} vs noisy {noisy}");
@@ -259,9 +274,8 @@ mod tests {
     #[test]
     fn probe_budget_monotone_improvement() {
         let t = probe_budget_ablation(Scale::Fast);
-        let exact_of = |row: &Vec<String>| -> usize {
-            row[1].split('/').next().unwrap().parse().unwrap()
-        };
+        let exact_of =
+            |row: &Vec<String>| -> usize { row[1].split('/').next().unwrap().parse().unwrap() };
         let first = exact_of(&t.rows[0]);
         let last = exact_of(t.rows.last().unwrap());
         assert!(last >= first);

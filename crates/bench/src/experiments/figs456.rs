@@ -98,8 +98,8 @@ fn fit(
         lr: 0.001,
         momentum: 0.9,
         weight_decay: 1e-4,
-                lr_decay: 1.0,
-            };
+        lr_decay: 1.0,
+    };
     train(net, &mut params, train_set, &cfg, None);
     if let Some(fp) = footprint {
         let mask = prune_to_footprint(net, &mut params, fp, 4);
@@ -133,8 +133,8 @@ pub fn prepare_models(scale: Scale, seed: u64) -> PreparedModels {
         lr: 0.001,
         momentum: 0.9,
         weight_decay: 1e-4,
-                lr_decay: 1.0,
-            };
+        lr_decay: 1.0,
+    };
     train(&victim_net, &mut victim_params, &train_set, &cfg, None);
     // Prune with the (mini-calibrated) profile by magnitude — the victim
     // is trained, so the surviving weights must be the informative ones —
@@ -215,8 +215,16 @@ pub fn prepare_models(scale: Scale, seed: u64) -> PreparedModels {
     //     pruned 2x and 5x (paper's B1–B4). ---
     let mut transfer_baselines = Vec::new();
     for (label, net, sparsity) in [
-        ("B1 ResNet18 2x", hd_dnn::zoo::resnet18_scaled(10, b.width), 0.5),
-        ("B2 ResNet18 5x", hd_dnn::zoo::resnet18_scaled(10, b.width), 0.8),
+        (
+            "B1 ResNet18 2x",
+            hd_dnn::zoo::resnet18_scaled(10, b.width),
+            0.5,
+        ),
+        (
+            "B2 ResNet18 5x",
+            hd_dnn::zoo::resnet18_scaled(10, b.width),
+            0.8,
+        ),
         (
             "B3 MobileNetV2 2x",
             hd_dnn::zoo::mobilenet_v2_scaled(10, b.width * 2.0),
@@ -351,7 +359,11 @@ mod tests {
     #[ignore = "trains ~11 mini models, minutes in release; run with --ignored"]
     fn figures_pipeline_end_to_end() {
         let prepared = prepare_models(Scale::Fast, 42);
-        assert!(prepared.victim_acc > 0.2, "victim acc {}", prepared.victim_acc);
+        assert!(
+            prepared.victim_acc > 0.2,
+            "victim acc {}",
+            prepared.victim_acc
+        );
         assert!(!prepared.candidates.is_empty());
 
         let f4 = fig4_accuracy(&prepared);

@@ -35,11 +35,8 @@ pub fn glb_bound_table(scale: Scale) -> Table {
     for &model in models {
         let mut row = vec![model.name().to_string()];
         for dram in &sweep {
-            let (device, _) = paper_victim_with(
-                model,
-                5,
-                AccelConfig::eyeriss_v2().with_dram(*dram),
-            );
+            let (device, _) =
+                paper_victim_with(model, 5, AccelConfig::eyeriss_v2().with_dram(*dram));
             let timings = device.encode_timings(&image);
             let mut min_mult = f64::INFINITY;
             let mut all_glb = true;

@@ -14,7 +14,12 @@ pub fn observability_table(scale: Scale) -> Table {
     };
     let mut t = Table::new(
         "§5.2 — boundary-effect observability of one random probe",
-        &["kernel", "weight density", "observable", "P(>=1 of 8 probes)"],
+        &[
+            "kernel",
+            "weight density",
+            "observable",
+            "P(>=1 of 8 probes)",
+        ],
     );
     for kernel in [3usize, 5, 7] {
         for density in [0.10, 0.35, 0.90] {

@@ -13,7 +13,15 @@ use huffduff_core::prober::{probe, ProberConfig};
 pub fn prober_table(scale: Scale) -> Table {
     let mut t = Table::new(
         "§8.2 — prober: geometry recovery on full-size victims",
-        &["model", "layers", "probes", "device runs", "exact", "covered", "wall time"],
+        &[
+            "model",
+            "layers",
+            "probes",
+            "device runs",
+            "exact",
+            "covered",
+            "wall time",
+        ],
     );
     let models: &[Model] = match scale {
         Scale::Smoke | Scale::Fast => &[Model::VggS],

@@ -12,7 +12,14 @@ use huffduff_core::prober::ProberConfig;
 pub fn final_solution_table(scale: Scale) -> Table {
     let mut t = Table::new(
         "§8.2 — finalized solution space",
-        &["model", "true K1", "k1 range", "solutions", "after footprint filter", "true K1 covered"],
+        &[
+            "model",
+            "true K1",
+            "k1 range",
+            "solutions",
+            "after footprint filter",
+            "true K1 covered",
+        ],
     );
     let models: &[Model] = match scale {
         Scale::Smoke | Scale::Fast => &[Model::VggS],

@@ -17,7 +17,13 @@ use huffduff_core::reversecnn::{
 pub fn table1(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 1 — solution space: dense ReverseCNN vs naive sparse bound",
-        &["model", "dense solutions", "dense GPU-h", "sparse solutions", "sparse GPU-h"],
+        &[
+            "model",
+            "dense solutions",
+            "dense GPU-h",
+            "sparse solutions",
+            "sparse GPU-h",
+        ],
     );
     let models: &[Model] = match scale {
         Scale::Smoke | Scale::Fast => &[Model::ResNet18],
@@ -40,11 +46,7 @@ pub fn table1(scale: Scale) -> Table {
         );
 
         // --- Sparse victim: naive counting from observed weight bytes. ---
-        let (sparse_device, sparse_net) = paper_victim_with(
-            model,
-            11,
-            AccelConfig::eyeriss_v2(),
-        );
+        let (sparse_device, sparse_net) = paper_victim_with(model, 11, AccelConfig::eyeriss_v2());
         let sparse_trace = sparse_device.run(&Tensor3::full(3, 32, 32, 0.5));
         let sparse_analysis = hd_trace::analyze(&sparse_trace).expect("sparse trace analyzes");
         // Conv layers only; nominal input-channel sequence from the zoo
@@ -95,7 +97,11 @@ mod tests {
         assert_eq!(t.rows.len(), 1);
         // Dense count is small; sparse count is astronomical.
         let dense: f64 = t.rows[0][1].parse().unwrap_or(f64::NAN);
-        assert!(dense.is_finite() && (1.0..=1e6).contains(&dense), "{}", t.rows[0][1]);
+        assert!(
+            dense.is_finite() && (1.0..=1e6).contains(&dense),
+            "{}",
+            t.rows[0][1]
+        );
         assert!(t.rows[0][3].contains('e'), "sparse col: {}", t.rows[0][3]);
     }
 }

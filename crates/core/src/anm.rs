@@ -157,7 +157,13 @@ mod tests {
         // constant from the bias response.
         let mut vars = VarSource::new(7);
         let rows = generate(Anm { m: 0, n: 1 }, 24, 6, &mut vars);
-        let layer = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let layer = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
+            &mut vars,
+        );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
         // Drop rows whose filter response is truncated at the edge (the
         // paper discards these before analyzing the next layer).

@@ -152,9 +152,12 @@ mod tests {
         // layer) is calibrated for 512-channel layers; at 8–16 channels it
         // would leave almost no weights and no observable boundary effect.
         let profile = hd_dnn::prune::SparsityProfile {
-            targets: net.weighted_nodes().iter().enumerate().map(|(pos, &id)| {
-                (id, if pos == 0 { 0.45 } else { 0.7 })
-            }).collect(),
+            targets: net
+                .weighted_nodes()
+                .iter()
+                .enumerate()
+                .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.7 }))
+                .collect(),
         };
         hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 6);
         Device::new(net, params, AccelConfig::eyeriss_v2())
@@ -170,6 +173,7 @@ mod tests {
                 strides: vec![1, 2],
                 pools: vec![2, 3],
                 seed: 77,
+                parallelism: None,
             },
             classes: 4,
             max_k: 256,
@@ -184,9 +188,21 @@ mod tests {
 
         // Geometry.
         use crate::prober::LayerKind;
-        assert_eq!(out.prober.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(
+            out.prober.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
         assert_eq!(out.prober.layers[1].kind, LayerKind::Pool { factor: 2 });
-        assert_eq!(out.prober.layers[2].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(
+            out.prober.layers[2].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
         assert_eq!(out.prober.layers[3].kind, LayerKind::GlobalPool);
         assert_eq!(out.prober.layers[4].kind, LayerKind::Dense);
 

@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
-                LayerKind::Conv { kernel: 3, stride: 1 },
+                LayerKind::Conv {
+                    kernel: 3,
+                    stride: 1
+                },
                 LayerKind::Pool { factor: 2 },
                 LayerKind::Dense
             ]
@@ -140,7 +143,10 @@ mod tests {
             layers: vec![crate::prober::RecoveredLayer {
                 index: 0,
                 inputs: vec![0],
-                kind: LayerKind::Conv { kernel: 5, stride: 1 },
+                kind: LayerKind::Conv {
+                    kernel: 5,
+                    stride: 1,
+                },
                 alternatives: vec![],
                 out_hw: Some((8, 8)),
                 pattern: crate::pattern::Pattern::of(&[0u8]),

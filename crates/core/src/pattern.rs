@@ -56,7 +56,11 @@ impl Pattern {
 
     /// Number of distinct classes.
     pub fn class_count(&self) -> usize {
-        self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0)
+        self.labels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Canonical labels.
@@ -97,7 +101,11 @@ impl Pattern {
     ///
     /// Panics if the lengths differ.
     pub fn refine(&self, other: &Pattern) -> Pattern {
-        assert_eq!(self.len(), other.len(), "cannot refine patterns of different length");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot refine patterns of different length"
+        );
         let pairs: Vec<(u16, u16)> = self
             .labels
             .iter()

@@ -26,7 +26,12 @@ use hd_trace::{analyze, TensorId, TraceAnalysis};
 use std::fmt;
 
 /// Anything the attacker can feed images to while watching the bus.
-pub trait ProbeTarget {
+///
+/// `Sync` is a supertrait so the prober can fan the independent inferences
+/// of one probe family across worker threads (`&dyn ProbeTarget` is `Send`
+/// exactly when the trait object is `Sync`). Implementations needing
+/// interior mutability should use thread-safe cells (`Mutex`, atomics).
+pub trait ProbeTarget: Sync {
     /// The (publicly known) input shape.
     fn input_shape(&self) -> Shape3;
     /// Runs one inference, returning the observed bus trace.
@@ -79,7 +84,7 @@ impl fmt::Display for LayerKind {
 }
 
 /// One recovered layer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoveredLayer {
     /// Execution index (matches [`hd_trace::LayerObs::index`]).
     pub index: usize,
@@ -122,6 +127,12 @@ pub struct ProberConfig {
     pub pools: Vec<usize>,
     /// RNG seed (probe amplitudes + symbolic variables).
     pub seed: u64,
+    /// Worker threads used to fan one probe family's `shifts` inferences
+    /// across cores. `None` (the default) uses all available cores;
+    /// `Some(1)` is the serial path. Any setting produces bit-identical
+    /// [`ProberResult`]s — per-probe seeds are fixed up front and results
+    /// are reduced in probe-index order, never in completion order.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ProberConfig {
@@ -134,12 +145,33 @@ impl Default for ProberConfig {
             strides: vec![1, 2],
             pools: vec![2, 3, 4],
             seed: 0x5EED,
+            parallelism: None,
         }
     }
 }
 
+impl ProberConfig {
+    /// Returns this config with the parallelism knob set.
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Worker-thread count the executor will actually use for `jobs`
+    /// independent inferences: the configured [`ProberConfig::parallelism`]
+    /// (or all available cores), clamped to `1..=jobs`.
+    pub fn effective_parallelism(&self, jobs: usize) -> usize {
+        let requested = self.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        requested.clamp(1, jobs.max(1))
+    }
+}
+
 /// Prober output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProberResult {
     /// Recovered layers in execution order.
     pub layers: Vec<RecoveredLayer>,
@@ -221,8 +253,13 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
     let shape = target.input_shape();
     let shifts = cfg.shifts.min(shape.w);
     let families = stripe_probes(shape, shifts, cfg.max_probes, cfg.seed);
+    let workers = cfg.effective_parallelism(shifts);
 
     // --- Collect measured patterns, probing until they stabilize. ---
+    //
+    // Families stay sequential (the early-stop decision after each family
+    // depends on all earlier ones), but the `shifts` inferences inside one
+    // family are independent and fan out across `workers` threads.
     let mut structure: Option<TraceAnalysis> = None;
     let mut bytes_per_family: Vec<Vec<Vec<u64>>> = Vec::new(); // [family][shift][layer]
     let mut refined: Vec<Pattern> = Vec::new();
@@ -230,9 +267,9 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
     let mut probes_used = 0usize;
 
     for family in &families {
+        let analyses = run_family(target, &family.images, workers)?;
         let mut bytes_this: Vec<Vec<u64>> = Vec::with_capacity(shifts);
-        for img in &family.images {
-            let analysis = analyze(&target.run_probe(img))?;
+        for analysis in analyses {
             match &structure {
                 None => {
                     bytes_this.push(analysis.output_bytes_per_layer());
@@ -373,6 +410,45 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
     })
 }
 
+/// Runs every probe image of one family against the target and returns the
+/// analyses **in image-index order**, regardless of scheduling.
+///
+/// Fan-out is deterministic by construction: each image owns a result slot
+/// (disjoint `chunks_mut` regions handed to scoped workers), so reduction
+/// order never depends on thread completion order, and `Device::run` itself
+/// derives any defence noise from the image — not from shared mutable
+/// state. Errors are surfaced for the lowest failing image index, matching
+/// what the serial path would report.
+fn run_family(
+    target: &dyn ProbeTarget,
+    images: &[Tensor3],
+    workers: usize,
+) -> Result<Vec<TraceAnalysis>, ProbeError> {
+    let run_one = |img: &Tensor3| -> Result<TraceAnalysis, ProbeError> {
+        Ok(analyze(&target.run_probe(img))?)
+    };
+    if workers <= 1 || images.len() <= 1 {
+        return images.iter().map(run_one).collect();
+    }
+
+    let mut slots: Vec<Option<Result<TraceAnalysis, ProbeError>>> = Vec::new();
+    slots.resize_with(images.len(), || None);
+    let chunk = images.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (imgs, outs) in images.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (img, out) in imgs.iter().zip(outs.iter_mut()) {
+                    *out = Some(run_one(img));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot in its chunk"))
+        .collect()
+}
+
 /// How strongly the observations pinned down a layer's geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Confidence {
@@ -447,7 +523,10 @@ fn reconcile_join(
         if t == 0 {
             Confidence::Exact
         } else {
-            confidences.get(t - 1).copied().unwrap_or(Confidence::Default)
+            confidences
+                .get(t - 1)
+                .copied()
+                .unwrap_or(Confidence::Default)
         }
     };
     let (fix_tensor, target_hw) = if conf_of(ta) >= conf_of(tb) {
@@ -463,7 +542,9 @@ fn reconcile_join(
         return;
     };
     let src = layers[producer].inputs[0];
-    let Some((_, src_w)) = tensor_hw[src] else { return };
+    let Some((_, src_w)) = tensor_hw[src] else {
+        return;
+    };
     if target_hw.1 == 0 || src_w < target_hw.1 {
         return;
     }
@@ -497,11 +578,7 @@ fn classify_layer(
             // degrade gracefully (layers downstream of the join are then
             // classified without a symbolic prefix).
             if a.len() == b.len() && a.iter().zip(b).all(|(ra, rb)| ra.len() == rb.len()) {
-                let rows: Vec<Vec<Sym>> = a
-                    .iter()
-                    .zip(b)
-                    .map(|(ra, rb)| sym_add(ra, rb))
-                    .collect();
+                let rows: Vec<Vec<Sym>> = a.iter().zip(b).map(|(ra, rb)| sym_add(ra, rb)).collect();
                 return Classified::new(
                     LayerKind::Add,
                     Vec::new(),
@@ -511,12 +588,24 @@ fn classify_layer(
                 );
             }
         }
-        return Classified::new(LayerKind::Add, Vec::new(), None, input_hw[0], Confidence::Coarse);
+        return Classified::new(
+            LayerKind::Add,
+            Vec::new(),
+            None,
+            input_hw[0],
+            Confidence::Coarse,
+        );
     }
 
     let Some(rows) = input_rows.first().copied().flatten() else {
         // Upstream geometry already lost (past the head).
-        return Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Default);
+        return Classified::new(
+            LayerKind::Dense,
+            Vec::new(),
+            None,
+            None,
+            Confidence::Default,
+        );
     };
     let hw = input_hw[0];
 
@@ -568,7 +657,13 @@ fn classify_layer(
         }
         // No finite pooling factor explains the measurement: global pooling
         // (geometry recovery stops along this path — spatial info is gone).
-        return Classified::new(LayerKind::GlobalPool, Vec::new(), None, None, Confidence::Coarse);
+        return Classified::new(
+            LayerKind::GlobalPool,
+            Vec::new(),
+            None,
+            None,
+            Confidence::Coarse,
+        );
     }
 
     // Head fully-connected layers destroy all spatial structure: their
@@ -672,14 +767,21 @@ fn classify_layer(
                 .kernels
                 .iter()
                 .flat_map(|&k| {
-                    cfg.strides
-                        .iter()
-                        .map(move |&s| LayerKind::Conv { kernel: k, stride: s })
+                    cfg.strides.iter().map(move |&s| LayerKind::Conv {
+                        kernel: k,
+                        stride: s,
+                    })
                 })
                 .collect();
             return make_conv(hyp, &layer, alternatives, Confidence::Default);
         }
-        return Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Default);
+        return Classified::new(
+            LayerKind::Dense,
+            Vec::new(),
+            None,
+            None,
+            Confidence::Default,
+        );
     }
 
     if !rest.is_empty() {
@@ -750,6 +852,7 @@ mod tests {
             strides: vec![1, 2],
             pools: vec![2, 3],
             seed: 99,
+            parallelism: None,
         }
     }
 
@@ -782,8 +885,20 @@ mod tests {
         b.conv(x, 8, 3, 1);
         let dev = device_for(b.build(), 5);
         let res = probe(&dev, &small_cfg()).unwrap();
-        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 1, stride: 1 });
-        assert_eq!(res.layers[1].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(
+            res.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 1,
+                stride: 1
+            }
+        );
+        assert_eq!(
+            res.layers[1].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
     }
 
     #[test]
@@ -793,7 +908,13 @@ mod tests {
         b.conv(x, 8, 3, 2);
         let dev = device_for(b.build(), 6);
         let res = probe(&dev, &small_cfg()).unwrap();
-        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 2 });
+        assert_eq!(
+            res.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 2
+            }
+        );
         assert_eq!(res.layers[0].out_hw, Some((8, 8)));
     }
 
@@ -807,9 +928,21 @@ mod tests {
         let dev = device_for(b.build(), 7);
         let res = probe(&dev, &small_cfg()).unwrap();
         assert_eq!(res.layers.len(), 3);
-        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(
+            res.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
         assert_eq!(res.layers[1].kind, LayerKind::Pool { factor: 2 });
-        assert_eq!(res.layers[2].kind, LayerKind::Conv { kernel: 5, stride: 1 });
+        assert_eq!(
+            res.layers[2].kind,
+            LayerKind::Conv {
+                kernel: 5,
+                stride: 1
+            }
+        );
         assert_eq!(res.layers[2].out_hw, Some((8, 8)));
     }
 
@@ -823,7 +956,13 @@ mod tests {
         let dev = device_for(b.build(), 8);
         let res = probe(&dev, &small_cfg()).unwrap();
         assert_eq!(res.layers.len(), 2);
-        assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+        assert_eq!(
+            res.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
         assert_eq!(res.layers[1].kind, LayerKind::Dense);
     }
 
@@ -850,6 +989,50 @@ mod tests {
         let res = probe(&dev, &small_cfg()).unwrap();
         assert!(res.probes_used <= 8);
         assert_eq!(res.runs_used, res.probes_used * 12);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_identically() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, 8, 5, 1);
+        let dev = device_for(b.build(), 21);
+        let serial = probe(&dev, &small_cfg().with_parallelism(Some(1))).unwrap();
+        for workers in [Some(2), Some(4), Some(64), None] {
+            let par = probe(&dev, &small_cfg().with_parallelism(workers)).unwrap();
+            assert_eq!(serial, par, "parallelism {workers:?} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn effective_parallelism_clamps_to_jobs() {
+        let cfg = ProberConfig::default().with_parallelism(Some(8));
+        assert_eq!(cfg.effective_parallelism(3), 3);
+        assert_eq!(cfg.effective_parallelism(100), 8);
+        assert_eq!(cfg.effective_parallelism(0), 1);
+        let serial = ProberConfig::default().with_parallelism(Some(1));
+        assert_eq!(serial.effective_parallelism(100), 1);
+        // None = all cores: at least one worker, never more than jobs.
+        let auto = ProberConfig::default();
+        let w = auto.effective_parallelism(4);
+        assert!((1..=4).contains(&w));
+    }
+
+    #[test]
+    fn run_family_orders_results_by_image_index() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        b.conv(x, 8, 3, 1);
+        let dev = device_for(b.build(), 22);
+        let fams = stripe_probes(ProbeTarget::input_shape(&dev), 12, 1, 99);
+        let serial = run_family(&dev, &fams[0].images, 1).unwrap();
+        // Odd worker counts exercise the uneven-final-chunk path.
+        for workers in [2, 3, 5, 12, 30] {
+            let par = run_family(&dev, &fams[0].images, workers).unwrap();
+            assert_eq!(serial, par, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl DenseResult {
 
 impl fmt::Display for DenseResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} dense solutions over {} layers", self.total, self.per_layer.len())
+        write!(
+            f,
+            "{} dense solutions over {} layers",
+            self.total,
+            self.per_layer.len()
+        )
     }
 }
 
@@ -380,13 +385,7 @@ mod tests {
         // 10 layers, each ~60k observed non-zeros at c = 256, alpha = 0.999.
         let weight_bytes = vec![60_000u64; 10];
         let channels = vec![256usize; 10];
-        let count = naive_sparse_count(
-            &weight_bytes,
-            &channels,
-            &SearchSpace::default(),
-            0.999,
-            8,
-        );
+        let count = naive_sparse_count(&weight_bytes, &channels, &SearchSpace::default(), 0.999, 8);
         assert!(count.log10() > 30.0, "log10 = {}", count.log10());
     }
 

@@ -173,14 +173,23 @@ impl SolutionSpace {
     }
 
     /// The candidate for a specific first-layer channel count.
+    ///
+    /// Timing ratios scale from [`ChannelRatios::baseline`]. When the
+    /// first conv's window is usable the baseline *is* the first conv, so
+    /// the baseline count equals `k1` exactly. A sub-burst first conv
+    /// (baseline on a later layer) leaves no measured link between `k1`
+    /// and the baseline count; the space then assumes the victim keeps
+    /// its early width (`k_base = k1`) — explicit now, where the old API
+    /// made the same substitution silently.
     pub fn candidate(&self, k1: usize) -> CandidateArch {
-        let mut channels = self.ratios.channels_for(k1);
+        let k_base = k1;
+        let mut channels = self.ratios.channels_for(k_base);
         // Interior dense layers: out_features from the same timing unit.
-        if let Some(&(first_idx, _)) = self.ratios.ratios.first() {
-            let first = &self.layers[first_idx];
-            if let (Some((p, q)), w1) = (first.out_hw, first.encode_window_ps) {
+        {
+            let base = &self.layers[self.ratios.baseline];
+            if let (Some((p, q)), w1) = (base.out_hw, base.encode_window_ps) {
                 if w1 > 0 {
-                    let unit = w1 as f64 / (p * q * k1.max(1)) as f64;
+                    let unit = w1 as f64 / (p * q * k_base.max(1)) as f64;
                     let n = self.layers.len();
                     for (i, l) in self.layers.iter().enumerate() {
                         if matches!(l.kind, LayerKind::Dense) && i + 1 < n {
@@ -210,9 +219,7 @@ impl SolutionSpace {
         }
         let l = &self.layers[t - 1];
         match l.kind {
-            LayerKind::Conv { .. } | LayerKind::Dense => {
-                k_of[t - 1].unwrap_or(self.input_shape.c)
-            }
+            LayerKind::Conv { .. } | LayerKind::Dense => k_of[t - 1].unwrap_or(self.input_shape.c),
             LayerKind::Pool { .. } | LayerKind::GlobalPool | LayerKind::Add => {
                 self.tensor_channels(l.inputs[0], k_of)
             }
@@ -301,9 +308,7 @@ impl SolutionSpace {
             }
             let l = &layers[t - 1];
             match l.kind {
-                LayerKind::Conv { .. } | LayerKind::Dense => {
-                    k_of[t - 1].unwrap_or(input_c)
-                }
+                LayerKind::Conv { .. } | LayerKind::Dense => k_of[t - 1].unwrap_or(input_c),
                 LayerKind::Pool { .. } | LayerKind::GlobalPool | LayerKind::Add => {
                     tensor_channels(l.inputs[0], layers, k_of, input_c)
                 }
@@ -409,7 +414,10 @@ mod tests {
         // k in roughly [0.55*K, 0.55*K/0.4].
         let lo = *range.first().unwrap();
         let hi = *range.last().unwrap();
-        assert!(lo >= (0.5 * k_true as f64) as usize && lo <= k_true, "lo {lo}");
+        assert!(
+            lo >= (0.5 * k_true as f64) as usize && lo <= k_true,
+            "lo {lo}"
+        );
         assert!(hi >= k_true && hi <= 2 * k_true, "hi {hi}");
     }
 

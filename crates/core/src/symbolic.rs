@@ -257,7 +257,10 @@ mod tests {
         let mut vars = VarSource::new(1);
         let rows = impulse_rows(12, 6, &mut vars);
         let layer = SymConvLayer::new(
-            ConvHypothesis { kernel: 3, stride: 1 },
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
             &mut vars,
         );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
@@ -269,7 +272,10 @@ mod tests {
         let mut vars = VarSource::new(2);
         let rows = impulse_rows(10, 5, &mut vars);
         let layer = SymConvLayer::new(
-            ConvHypothesis { kernel: 1, stride: 1 },
+            ConvHypothesis {
+                kernel: 1,
+                stride: 1,
+            },
             &mut vars,
         );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| layer.apply(r)).collect();
@@ -280,8 +286,20 @@ mod tests {
     fn conv5_has_longer_prefix_than_conv3() {
         let mut vars = VarSource::new(3);
         let rows = impulse_rows(16, 8, &mut vars);
-        let l3 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
-        let l5 = SymConvLayer::new(ConvHypothesis { kernel: 5, stride: 1 }, &mut vars);
+        let l3 = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
+            &mut vars,
+        );
+        let l5 = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 5,
+                stride: 1,
+            },
+            &mut vars,
+        );
         let p3 = letters(&rows.iter().map(|r| l3.apply(r)).collect::<Vec<_>>());
         let p5 = letters(&rows.iter().map(|r| l5.apply(r)).collect::<Vec<_>>());
         // A 5-tap filter loses taps at shifts 0 AND 1, a 3-tap only at 0.
@@ -295,7 +313,13 @@ mod tests {
         // with period 2 (pooling phase), unlike the conv-only "ABB…" tail.
         let mut vars = VarSource::new(4);
         let rows = impulse_rows(16, 8, &mut vars);
-        let conv = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let conv = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
+            &mut vars,
+        );
         let pool = SymPoolLayer::new(2, &mut vars);
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| pool.apply(&conv.apply(r))).collect();
         assert_eq!(letters(&out).to_string(), "ABCBCBCB");
@@ -305,7 +329,13 @@ mod tests {
     fn stride2_gives_period2_pattern() {
         let mut vars = VarSource::new(5);
         let rows = impulse_rows(16, 8, &mut vars);
-        let conv = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 2 }, &mut vars);
+        let conv = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 2,
+            },
+            &mut vars,
+        );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| conv.apply(r)).collect();
         let p = letters(&out).to_string();
         // After the edge prefix, letters alternate with period 2.
@@ -320,8 +350,20 @@ mod tests {
         // Boundary effect survives downstream layers (paper §5.3).
         let mut vars = VarSource::new(6);
         let rows = impulse_rows(20, 10, &mut vars);
-        let l1 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
-        let l2 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+        let l1 = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
+            &mut vars,
+        );
+        let l2 = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: 3,
+                stride: 1,
+            },
+            &mut vars,
+        );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| l2.apply(&l1.apply(r))).collect();
         let p = letters(&out);
         // Converges after a longer prefix (two layers of truncation).
@@ -337,7 +379,13 @@ mod tests {
         let mk = |seed| {
             let mut vars = VarSource::new(seed);
             let rows = impulse_rows(8, 4, &mut vars);
-            let l = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
+            let l = SymConvLayer::new(
+                ConvHypothesis {
+                    kernel: 3,
+                    stride: 1,
+                },
+                &mut vars,
+            );
             rows.iter().map(|r| l.apply(r)).collect::<Vec<_>>()
         };
         assert_eq!(mk(7), mk(7));

@@ -11,18 +11,27 @@ use crate::prober::{LayerKind, ProberResult};
 /// Per-layer channel-ratio estimates extracted from encode windows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChannelRatios {
-    /// `(layer index within ProberResult::layers, ratio K_l / K_first)` for
-    /// every conv layer, in execution order. The first entry is `1.0` by
-    /// definition.
+    /// Index (within `ProberResult::layers`) of the layer every ratio is
+    /// relative to: the first conv layer with a *usable* (multi-burst)
+    /// encode window. Usually the first conv, but a tiny first conv whose
+    /// output fits in a single burst has no window to time, and the
+    /// baseline then falls on a later layer — callers must scale from
+    /// *this* layer's channel count, not blindly from `K_1`.
+    pub baseline: usize,
+    /// `(layer index within ProberResult::layers, ratio K_l / K_baseline)`
+    /// for every conv layer with a usable window, in execution order. The
+    /// entry for `baseline` is `1.0` by definition.
     pub ratios: Vec<(usize, f64)>,
 }
 
 impl ChannelRatios {
-    /// Channel counts implied by a candidate first-layer count.
-    pub fn channels_for(&self, k1: usize) -> Vec<(usize, usize)> {
+    /// Channel counts implied by a candidate count `k_base` for the
+    /// [`ChannelRatios::baseline`] layer (*not* necessarily the first
+    /// conv layer — check `baseline`).
+    pub fn channels_for(&self, k_base: usize) -> Vec<(usize, usize)> {
         self.ratios
             .iter()
-            .map(|&(idx, r)| (idx, ((k1 as f64) * r).round().max(1.0) as usize))
+            .map(|&(idx, r)| (idx, ((k_base as f64) * r).round().max(1.0) as usize))
             .collect()
     }
 }
@@ -52,7 +61,7 @@ impl std::error::Error for TimingError {}
 /// unusable.
 pub fn channel_ratios(prober: &ProberResult) -> Result<ChannelRatios, TimingError> {
     let mut ratios = Vec::new();
-    let mut first: Option<f64> = None;
+    let mut first: Option<(usize, f64)> = None;
     for (i, layer) in prober.layers.iter().enumerate() {
         let LayerKind::Conv { .. } = layer.kind else {
             continue;
@@ -65,19 +74,20 @@ pub fn channel_ratios(prober: &ProberResult) -> Result<ChannelRatios, TimingErro
         }
         // GLB-bound: window ∝ P·Q·K  =>  K ∝ window / (P·Q).
         let per_pixel = layer.encode_window_ps as f64 / (p * q) as f64;
-        let base = *first.get_or_insert(per_pixel);
+        let (_, base) = *first.get_or_insert((i, per_pixel));
         ratios.push((i, per_pixel / base));
     }
-    if ratios.is_empty() {
+    let Some((baseline, _)) = first else {
         return Err(TimingError::NoConvLayers);
-    }
-    Ok(ChannelRatios { ratios })
+    };
+    Ok(ChannelRatios { baseline, ratios })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prober::{probe, ProberConfig};
+    use crate::pattern::Pattern;
+    use crate::prober::{probe, ProberConfig, RecoveredLayer};
     use hd_accel::{AccelConfig, Device};
     use hd_dnn::graph::{NetworkBuilder, Params};
 
@@ -90,6 +100,7 @@ mod tests {
             strides: vec![1, 2],
             pools: vec![2, 3],
             seed: 21,
+            parallelism: None,
         }
     }
 
@@ -130,6 +141,77 @@ mod tests {
         let ratios = channel_ratios(&res).unwrap();
         let r = ratios.ratios[1].1;
         assert!((r - 2.0).abs() < 0.2, "ratio {r}");
+    }
+
+    /// Builds a synthetic recovered conv layer with a chosen encode window.
+    fn conv_layer(index: usize, out_hw: (usize, usize), encode_window_ps: u64) -> RecoveredLayer {
+        RecoveredLayer {
+            index,
+            inputs: vec![index],
+            kind: LayerKind::Conv {
+                kernel: 3,
+                stride: 1,
+            },
+            alternatives: vec![LayerKind::Conv {
+                kernel: 3,
+                stride: 1,
+            }],
+            out_hw: Some(out_hw),
+            pattern: Pattern::of::<u64>(&[]),
+            weight_bytes: 64,
+            output_bytes: 64,
+            encode_window_ps,
+        }
+    }
+
+    #[test]
+    fn tiny_first_conv_rebaselines_explicitly() {
+        // Regression: a tiny first conv whose output fits in a single burst
+        // (encode_window_ps == 0) cannot be timed; the baseline must move
+        // to the next usable conv layer and be *reported*, so callers scale
+        // from that layer's channel count instead of silently treating the
+        // first ratio entry as the first conv.
+        let res = ProberResult {
+            layers: vec![
+                conv_layer(0, (4, 4), 0),      // sub-burst: untimeable
+                conv_layer(1, (4, 4), 16_000), // baseline (K = 16, say)
+                conv_layer(2, (4, 4), 32_000), // 2x the baseline count
+            ],
+            probes_used: 1,
+            runs_used: 12,
+            structure: hd_trace::TraceAnalysis {
+                tensors: vec![],
+                layers: vec![],
+            },
+        };
+        let ratios = channel_ratios(&res).unwrap();
+        assert_eq!(ratios.baseline, 1, "baseline must skip the sub-burst conv");
+        assert_eq!(
+            ratios.ratios.len(),
+            2,
+            "untimeable layer contributes no ratio"
+        );
+        assert_eq!(ratios.ratios[0], (1, 1.0));
+        assert!((ratios.ratios[1].1 - 2.0).abs() < 1e-9);
+        // channels_for takes the count of the *baseline* layer: scaling
+        // from K_baseline = 16 puts 32 channels on layer 2. The old API
+        // would have been fed k1 (the first conv's count) here.
+        let ks = ratios.channels_for(16);
+        assert_eq!(ks, vec![(1, 16), (2, 32)]);
+    }
+
+    #[test]
+    fn baseline_is_first_conv_when_timeable() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.conv(x, 24, 3, 1);
+        let net = b.build();
+        let params = Params::init(&net, 3);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let res = probe(&dev, &cfg()).unwrap();
+        let ratios = channel_ratios(&res).unwrap();
+        assert_eq!(ratios.baseline, 0);
     }
 
     #[test]

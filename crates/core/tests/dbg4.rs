@@ -1,5 +1,5 @@
-use huffduff_core::symbolic::*;
 use huffduff_core::pattern::Pattern;
+use huffduff_core::symbolic::*;
 
 fn letters(rows: &[Vec<Sym>]) -> Pattern {
     let sigs: Vec<Vec<Sym>> = rows.iter().map(|r| multiset_signature(r)).collect();
@@ -10,18 +10,43 @@ fn letters(rows: &[Vec<Sym>]) -> Pattern {
 fn dbg_vgg_prefix() {
     let mut vars = VarSource::new(123);
     let rows0 = impulse_rows(32, 24, &mut vars);
-    let c7 = SymConvLayer::new(ConvHypothesis { kernel: 7, stride: 1 }, &mut vars);
+    let c7 = SymConvLayer::new(
+        ConvHypothesis {
+            kernel: 7,
+            stride: 1,
+        },
+        &mut vars,
+    );
     let p1 = SymPoolLayer::new(2, &mut vars);
-    let c5 = SymConvLayer::new(ConvHypothesis { kernel: 5, stride: 1 }, &mut vars);
+    let c5 = SymConvLayer::new(
+        ConvHypothesis {
+            kernel: 5,
+            stride: 1,
+        },
+        &mut vars,
+    );
     let p2 = SymPoolLayer::new(2, &mut vars);
-    let c3 = SymConvLayer::new(ConvHypothesis { kernel: 3, stride: 1 }, &mut vars);
-    let rows: Vec<Vec<Sym>> = rows0.iter()
+    let c3 = SymConvLayer::new(
+        ConvHypothesis {
+            kernel: 3,
+            stride: 1,
+        },
+        &mut vars,
+    );
+    let rows: Vec<Vec<Sym>> = rows0
+        .iter()
         .map(|r| c3.apply(&p2.apply(&c5.apply(&p1.apply(&c7.apply(r))))))
         .collect();
     println!("rows len {}", rows[0].len());
     println!("input pattern:  {}", letters(&rows));
     for k in [1usize, 3, 5] {
-        let h = SymConvLayer::new(ConvHypothesis { kernel: k, stride: 1 }, &mut vars);
+        let h = SymConvLayer::new(
+            ConvHypothesis {
+                kernel: k,
+                stride: 1,
+            },
+            &mut vars,
+        );
         let out: Vec<Vec<Sym>> = rows.iter().map(|r| h.apply(r)).collect();
         println!("conv{k} pattern: {}", letters(&out));
         // also count distinct values within row 12

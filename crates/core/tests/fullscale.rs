@@ -20,7 +20,10 @@ fn vgg_s_geometry() {
     println!("vgg probe took {:?} ({} runs)", t0.elapsed(), res.runs_used);
     println!("{}", res.report());
     let score = score_geometry(&net, &res);
-    println!("score: {}/{} mismatches {:?}", score.correct, score.total, score.mismatches);
+    println!(
+        "score: {}/{} mismatches {:?}",
+        score.correct, score.total, score.mismatches
+    );
 }
 
 #[test]
@@ -30,8 +33,15 @@ fn resnet18_geometry() {
     let dev = victim(net.clone(), 4);
     let t0 = std::time::Instant::now();
     let res = probe(&dev, &ProberConfig::default()).unwrap();
-    println!("resnet probe took {:?} ({} runs)", t0.elapsed(), res.runs_used);
+    println!(
+        "resnet probe took {:?} ({} runs)",
+        t0.elapsed(),
+        res.runs_used
+    );
     println!("{}", res.report());
     let score = score_geometry(&net, &res);
-    println!("score: {}/{} mismatches {:?}", score.correct, score.total, score.mismatches);
+    println!(
+        "score: {}/{} mismatches {:?}",
+        score.correct, score.total, score.mismatches
+    );
 }

@@ -54,9 +54,8 @@ impl SyntheticImages {
     }
 
     fn template(&self, class: usize) -> Tensor3 {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut t = Tensor3::zeros(self.channels, self.height, self.width);
         // Oriented sinusoid per channel.
         for c in 0..self.channels {

@@ -240,9 +240,7 @@ impl Network {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, n)| {
-                matches!(n.op, Op::Conv(_) | Op::DwConv { .. } | Op::Linear { .. })
-            })
+            .filter(|(_, n)| matches!(n.op, Op::Conv(_) | Op::DwConv { .. } | Op::Linear { .. }))
             .map(|(i, _)| i)
             .collect()
     }
@@ -475,11 +473,7 @@ impl ForwardTrace {
     ///
     /// Panics if the final node does not produce a vector.
     pub fn logits(&self) -> &[f32] {
-        self.traces
-            .last()
-            .expect("empty network")
-            .out
-            .vector()
+        self.traces.last().expect("empty network").out.vector()
     }
 
     /// Index of the largest logit.
@@ -758,7 +752,12 @@ impl NetworkBuilder {
     pub fn input(&mut self) -> NodeId {
         assert!(!self.input_added, "input() may only be called once");
         self.input_added = true;
-        self.push(Op::Input, vec![], ValueShape::Map(self.input_shape), "input")
+        self.push(
+            Op::Input,
+            vec![],
+            ValueShape::Map(self.input_shape),
+            "input",
+        )
     }
 
     fn push(&mut self, op: Op, inputs: Vec<NodeId>, shape: ValueShape, name: &str) -> NodeId {

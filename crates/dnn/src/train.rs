@@ -5,12 +5,8 @@
 //! gradients (for training) and the gradient with respect to the network
 //! input (for FGSM/BIM adversarial-example generation in `hd-adversarial`).
 
-use crate::graph::{
-    ForwardTrace, LayerParams, Network, Op, Params,
-};
-use hd_tensor::conv::{
-    conv2d_bias_grad, conv2d_input_grad, conv2d_weight_grad, Conv2dCfg,
-};
+use crate::graph::{ForwardTrace, LayerParams, Network, Op, Params};
+use hd_tensor::conv::{conv2d_bias_grad, conv2d_input_grad, conv2d_weight_grad, Conv2dCfg};
 use hd_tensor::dwconv::{dwconv2d_input_grad, dwconv2d_weight_grad};
 use hd_tensor::norm::relu_backward;
 use hd_tensor::pool::pool2d_backward;
@@ -97,9 +93,7 @@ pub fn backward(
             Op::Input => {
                 let s = net.input_shape();
                 input_grad = Some(match input_grad {
-                    Some(acc) => {
-                        acc.add(&Tensor3::from_vec(s.c, s.h, s.w, g_flat))
-                    }
+                    Some(acc) => acc.add(&Tensor3::from_vec(s.c, s.h, s.w, g_flat)),
                     None => Tensor3::from_vec(s.c, s.h, s.w, g_flat),
                 });
             }
@@ -566,13 +560,21 @@ pub fn train(
 ///
 /// Panics if the two gradient sets come from different networks.
 pub fn accumulate_grads(acc: &mut Grads, other: &Grads) {
-    assert_eq!(acc.layers.len(), other.layers.len(), "gradient layout mismatch");
+    assert_eq!(
+        acc.layers.len(),
+        other.layers.len(),
+        "gradient layout mismatch"
+    );
     for (a, o) in acc.layers.iter_mut().zip(&other.layers) {
         match (a, o) {
             (None, None) => {}
             (
                 Some(LayerGrads::Conv { w, b, bn }),
-                Some(LayerGrads::Conv { w: ow, b: ob, bn: obn }),
+                Some(LayerGrads::Conv {
+                    w: ow,
+                    b: ob,
+                    bn: obn,
+                }),
             ) => {
                 add_slices(w.data_mut(), ow.data());
                 if let (Some(b), Some(ob)) = (b.as_mut(), ob.as_ref()) {
@@ -583,20 +585,14 @@ pub fn accumulate_grads(acc: &mut Grads, other: &Grads) {
                     add_slices(sh, osh);
                 }
             }
-            (
-                Some(LayerGrads::DwConv { w, bn }),
-                Some(LayerGrads::DwConv { w: ow, bn: obn }),
-            ) => {
+            (Some(LayerGrads::DwConv { w, bn }), Some(LayerGrads::DwConv { w: ow, bn: obn })) => {
                 add_slices(w.data_mut(), ow.data());
                 if let (Some((s, sh)), Some((os, osh))) = (bn.as_mut(), obn.as_ref()) {
                     add_slices(s, os);
                     add_slices(sh, osh);
                 }
             }
-            (
-                Some(LayerGrads::Linear { w, b }),
-                Some(LayerGrads::Linear { w: ow, b: ob }),
-            ) => {
+            (Some(LayerGrads::Linear { w, b }), Some(LayerGrads::Linear { w: ow, b: ob })) => {
                 add_slices(w, ow);
                 add_slices(b, ob);
             }
@@ -890,7 +886,10 @@ mod tests {
                     }
                 }
             }
-            sums.unwrap().iter().map(|v| v / samples.len() as f32).collect()
+            sums.unwrap()
+                .iter()
+                .map(|v| v / samples.len() as f32)
+                .collect()
         };
         let LayerGrads::Conv { w, .. } = mean.layers[1].as_ref().unwrap() else {
             panic!()

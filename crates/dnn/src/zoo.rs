@@ -35,14 +35,14 @@ pub fn vgg_s_scaled(classes: usize, width: f64) -> Network {
     // conv1: 96 @ 7x7 (stride 1 on CIFAR-scale inputs), pool /2
     let x = b.conv(x, scale(96, width), 7, 1);
     let x = b.max_pool(x, 2); // 16x16
-    // conv2: 256 @ 5x5, pool /2
+                              // conv2: 256 @ 5x5, pool /2
     let x = b.conv(x, scale(256, width), 5, 1);
     let x = b.max_pool(x, 2); // 8x8
-    // conv3, conv4: 512 @ 3x3
+                              // conv3, conv4: 512 @ 3x3
     let x = b.conv(x, scale(512, width), 3, 1);
     let x = b.conv(x, scale(512, width), 3, 1);
     let x = b.max_pool(x, 2); // 4x4
-    // conv5_1..conv5_3: 512 @ 3x3 (conv5_3 is the paper's 2.36M-weight layer)
+                              // conv5_1..conv5_3: 512 @ 3x3 (conv5_3 is the paper's 2.36M-weight layer)
     let x = b.conv(x, scale(512, width), 3, 1);
     let x = b.conv(x, scale(512, width), 3, 1);
     let x = b.conv(x, scale(512, width), 3, 1);
@@ -131,7 +131,7 @@ pub fn resnet18_scaled(classes: usize, width: f64) -> Network {
     let mut b = NetworkBuilder::new(3, 32, 32);
     let x = b.input();
     let x = b.conv(x, scale(64, width), 3, 1); // CIFAR stem
-    // Stage 1: 2 blocks @ 64, stride 1.
+                                               // Stage 1: 2 blocks @ 64, stride 1.
     let x = basic_block(&mut b, x, scale(64, width), 1);
     let x = basic_block(&mut b, x, scale(64, width), 1);
     // Stage 2: 2 blocks @ 128, first stride 2.

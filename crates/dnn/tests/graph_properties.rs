@@ -5,7 +5,12 @@ use hd_dnn::prune::{magnitude_prune_global, SparsityProfile};
 use hd_tensor::Tensor3;
 use proptest::prelude::*;
 
-fn arb_net(c: usize, hw: usize, convs: &[(usize, usize, usize)], pool_after: usize) -> hd_dnn::graph::Network {
+fn arb_net(
+    c: usize,
+    hw: usize,
+    convs: &[(usize, usize, usize)],
+    pool_after: usize,
+) -> hd_dnn::graph::Network {
     let mut b = NetworkBuilder::new(c, hw, hw);
     let mut x = b.input();
     for (i, &(k, kernel, stride)) in convs.iter().enumerate() {

@@ -142,7 +142,11 @@ impl BigUint {
                 // Use the top two (or three) limbs for the mantissa.
                 let hi = self.limbs[n - 1] as f64;
                 let mid = self.limbs[n - 2] as f64;
-                let lo = if n >= 3 { self.limbs[n - 3] as f64 } else { 0.0 };
+                let lo = if n >= 3 {
+                    self.limbs[n - 3] as f64
+                } else {
+                    0.0
+                };
                 let mantissa = hi + mid / 4294967296.0 + lo / (4294967296.0 * 4294967296.0);
                 mantissa.log10() + (n as f64 - 1.0) * 32.0 * std::f64::consts::LOG10_2
             }
@@ -196,7 +200,9 @@ impl From<u64> for BigUint {
         let lo = v as u32;
         let hi = (v >> 32) as u32;
         if hi != 0 {
-            BigUint { limbs: vec![lo, hi] }
+            BigUint {
+                limbs: vec![lo, hi],
+            }
         } else if lo != 0 {
             BigUint { limbs: vec![lo] }
         } else {

@@ -30,17 +30,23 @@ pub struct LogCount {
 impl LogCount {
     /// The multiplicative identity (a space with exactly one candidate).
     pub fn one() -> Self {
-        LogCount { exact: BigUint::one() }
+        LogCount {
+            exact: BigUint::one(),
+        }
     }
 
     /// The empty space.
     pub fn zero() -> Self {
-        LogCount { exact: BigUint::zero() }
+        LogCount {
+            exact: BigUint::zero(),
+        }
     }
 
     /// Creates a count from a machine integer.
     pub fn from_count(n: u64) -> Self {
-        LogCount { exact: BigUint::from(n) }
+        LogCount {
+            exact: BigUint::from(n),
+        }
     }
 
     /// Multiplies by a per-layer candidate count.
@@ -153,7 +159,10 @@ mod tests {
         // 9.999... should not print as "10.0e(n)".
         let c = LogCount::from_count(999_999);
         let s = c.to_scientific(1);
-        assert!(s == "1.0e6" || s == "10.0e5" || s == "9.99e5" || s.starts_with("1.0e"), "{s}");
+        assert!(
+            s == "1.0e6" || s == "10.0e5" || s == "9.99e5" || s.starts_with("1.0e"),
+            "{s}"
+        );
         assert!(!s.starts_with("10."), "{s}");
     }
 }

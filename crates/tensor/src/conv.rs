@@ -88,7 +88,11 @@ pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Con
         weight.c()
     );
     if let Some(b) = bias {
-        assert_eq!(b.len(), weight.k(), "bias length must equal output channels");
+        assert_eq!(
+            b.len(),
+            weight.k(),
+            "bias length must equal output channels"
+        );
     }
 
     // Probe images and post-ReLU activations of pruned networks are mostly

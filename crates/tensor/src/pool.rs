@@ -119,9 +119,8 @@ pub fn pool2d_backward(
                         let share = g / (factor * factor) as f32;
                         for dy in 0..factor {
                             for dx in 0..factor {
-                                let idx = grad_in
-                                    .shape()
-                                    .index(c, p * factor + dy, q * factor + dx);
+                                let idx =
+                                    grad_in.shape().index(c, p * factor + dy, q * factor + dx);
                                 grad_in.data_mut()[idx] += share;
                             }
                         }

@@ -263,7 +263,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(CompressionScheme::Bitmap.to_string(), "bitmap");
-        assert_eq!(CompressionScheme::RunLength { run_bits: 5 }.to_string(), "rle5");
+        assert_eq!(
+            CompressionScheme::RunLength { run_bits: 5 }.to_string(),
+            "rle5"
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl Tensor3 {
     /// Panics if `data.len() != c * h * w`.
     pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
         let shape = Shape3::new(c, h, w);
-        assert_eq!(data.len(), shape.len(), "buffer does not match shape {shape}");
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer does not match shape {shape}"
+        );
         Tensor3 { shape, data }
     }
 
@@ -193,7 +197,11 @@ impl Tensor4 {
     ///
     /// Panics if the buffer size does not match the dimensions.
     pub fn from_vec(k: usize, c: usize, r: usize, s: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), k * c * r * s, "buffer does not match weight shape");
+        assert_eq!(
+            data.len(),
+            k * c * r * s,
+            "buffer does not match weight shape"
+        );
         Tensor4 { k, c, r, s, data }
     }
 
@@ -359,11 +367,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         w.init_he(&mut rng);
         let mean: f32 = w.data().iter().sum::<f32>() / w.len() as f32;
-        let var: f32 =
-            w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        let var: f32 = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let expected = 2.0 / (16.0 * 9.0);
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - expected).abs() / expected < 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

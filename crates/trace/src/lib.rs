@@ -125,11 +125,7 @@ impl std::error::Error for AnalyzeTraceError {}
 /// # Ok::<(), hd_trace::AnalyzeTraceError>(())
 /// ```
 pub fn analyze(trace: &Trace) -> Result<TraceAnalysis, AnalyzeTraceError> {
-    if trace
-        .events
-        .windows(2)
-        .any(|w| w[0].time_ps > w[1].time_ps)
-    {
+    if trace.events.windows(2).any(|w| w[0].time_ps > w[1].time_ps) {
         return Err(AnalyzeTraceError::UnsortedEvents);
     }
 
@@ -223,11 +219,7 @@ pub fn analyze(trace: &Trace) -> Result<TraceAnalysis, AnalyzeTraceError> {
 ///
 /// Returns [`AnalyzeTraceError`] for empty or malformed traces.
 pub fn analyze_versioned(trace: &Trace) -> Result<TraceAnalysis, AnalyzeTraceError> {
-    if trace
-        .events
-        .windows(2)
-        .any(|w| w[0].time_ps > w[1].time_ps)
-    {
+    if trace.events.windows(2).any(|w| w[0].time_ps > w[1].time_ps) {
         return Err(AnalyzeTraceError::UnsortedEvents);
     }
 
@@ -376,7 +368,11 @@ impl TraceAnalysis {
         for l in &self.layers {
             s.push_str(&format!(
                 "layer {:>2}: in={:?} W={:>8}B I={:>8}B O={:>8}B window={}ps\n",
-                l.index, l.inputs, l.weight_bytes, l.input_bytes, l.output_bytes,
+                l.index,
+                l.inputs,
+                l.weight_bytes,
+                l.input_bytes,
+                l.output_bytes,
                 l.encode_window_ps
             ));
         }
@@ -400,7 +396,11 @@ mod tests {
         let x = b.global_avg_pool(x);
         b.linear(x, 3);
         let net = b.build();
-        Device::new(net.clone(), Params::init(&net, 42), AccelConfig::eyeriss_v2())
+        Device::new(
+            net.clone(),
+            Params::init(&net, 42),
+            AccelConfig::eyeriss_v2(),
+        )
     }
 
     #[test]
@@ -444,7 +444,12 @@ mod tests {
         let trace = dev.run(&Tensor3::full(2, 8, 8, 0.5));
         let a = analyze(&trace).unwrap();
         for l in &a.layers {
-            assert_eq!(l.inputs, vec![l.output - 1], "layer {} not a chain", l.index);
+            assert_eq!(
+                l.inputs,
+                vec![l.output - 1],
+                "layer {} not a chain",
+                l.index
+            );
         }
     }
 
@@ -465,7 +470,11 @@ mod tests {
         let z = b.add(x, y);
         b.global_avg_pool(z);
         let net = b.build();
-        let dev = Device::new(net.clone(), Params::init(&net, 3), AccelConfig::eyeriss_v2());
+        let dev = Device::new(
+            net.clone(),
+            Params::init(&net, 3),
+            AccelConfig::eyeriss_v2(),
+        );
         let trace = dev.run(&Tensor3::full(2, 6, 6, 0.4));
         let a = analyze(&trace).unwrap();
         // The add layer reads both the input tensor (0) and the conv output (1).

@@ -15,14 +15,18 @@ use huffduff_core::eval::score_geometry;
 use huffduff_core::prober::{probe, ProbeTarget, ProberConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// A device whose output tensors are padded with a random number of
 /// uncompressed zeros per run (volume-channel noise injection).
+///
+/// `ProbeTarget: Sync` (the prober may fan probes across threads), so the
+/// noise RNG sits behind a `Mutex` rather than a `RefCell`. This target is
+/// intentionally schedule-dependent — the example probes it serially.
 struct NoisyDevice {
     inner: Device,
     noise_bytes: u64,
-    rng: RefCell<StdRng>,
+    rng: Mutex<StdRng>,
 }
 
 impl ProbeTarget for NoisyDevice {
@@ -35,18 +39,15 @@ impl ProbeTarget for NoisyDevice {
         if self.noise_bytes == 0 {
             return trace;
         }
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = self.rng.lock().expect("noise RNG lock");
         for i in 0..trace.events.len() {
             let e = trace.events[i];
             if e.kind != hd_accel::AccessKind::Write {
                 continue;
             }
-            let stream_ends = trace
-                .events
-                .get(i + 1)
-                .is_none_or(|n| {
-                    n.kind != hd_accel::AccessKind::Write || n.addr != e.addr + e.bytes
-                });
+            let stream_ends = trace.events.get(i + 1).is_none_or(|n| {
+                n.kind != hd_accel::AccessKind::Write || n.addr != e.addr + e.bytes
+            });
             if stream_ends {
                 trace.events[i].bytes += rng.gen_range(0..=self.noise_bytes);
             }
@@ -80,7 +81,7 @@ fn main() {
         let target = NoisyDevice {
             inner: Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2()),
             noise_bytes: noise,
-            rng: RefCell::new(StdRng::seed_from_u64(noise ^ 0xD1CE)),
+            rng: Mutex::new(StdRng::seed_from_u64(noise ^ 0xD1CE)),
         };
         let cfg = ProberConfig {
             shifts: 12,
@@ -90,6 +91,9 @@ fn main() {
             strides: vec![1, 2],
             pools: vec![2, 3],
             seed: 31,
+            // The injected noise stream is consumed in probe order, so
+            // keep this target on the serial path for reproducibility.
+            parallelism: Some(1),
         };
         let res = probe(&target, &cfg).expect("probe runs");
         let score = score_geometry(&net, &res);

@@ -6,11 +6,25 @@
 //! roughly half a minute in release mode.
 //!
 //! ```text
-//! cargo run --release --example steal_vgg
+//! cargo run --release --example steal_vgg            # all cores
+//! cargo run --release --example steal_vgg -- -j 1    # serial baseline
 //! ```
+//!
+//! The `-j N` flag caps the prober's worker threads; any value produces a
+//! bit-identical result (the executor is deterministic), only wall-clock
+//! changes.
 
 use huffduff::prelude::*;
 use huffduff_core::eval::{expected_conv_channels, score_geometry};
+
+/// Parses `-j N` / `--parallelism N` from the command line.
+fn parallelism_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "-j" || a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let net = hd_dnn::zoo::vgg_s(10);
@@ -25,9 +39,17 @@ fn main() {
 
     let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
 
+    let parallelism = parallelism_arg();
+    let mut cfg = huffduff_core::AttackConfig::default();
+    cfg.prober = cfg.prober.with_parallelism(parallelism);
+    println!(
+        "prober workers: {} ({} probe inferences fan out per family)",
+        cfg.prober.effective_parallelism(cfg.prober.shifts),
+        cfg.prober.shifts
+    );
+
     let t0 = std::time::Instant::now();
-    let outcome =
-        huffduff_core::run(&device, &huffduff_core::AttackConfig::default()).expect("attack runs");
+    let outcome = huffduff_core::run(&device, &cfg).expect("attack runs");
     println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
     println!("{}", outcome.report());
 

@@ -6,9 +6,9 @@
 //! cargo run --release --example train_candidate
 //! ```
 
-use huffduff::prelude::*;
 use hd_dnn::data::SyntheticImages;
 use hd_dnn::train::{accuracy, normalize_init, train, TrainConfig};
+use huffduff::prelude::*;
 
 fn main() {
     // The victim owner's private training data and model.
@@ -26,8 +26,8 @@ fn main() {
         lr: 0.001,
         momentum: 0.9,
         weight_decay: 1e-4,
-                lr_decay: 1.0,
-            };
+        lr_decay: 1.0,
+    };
     train(&victim_net, &mut victim_params, &train_set, &cfg, None);
     let profile = hd_dnn::prune::SparsityProfile {
         targets: victim_net

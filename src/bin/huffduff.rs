@@ -22,9 +22,7 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let seed: u64 = get_opt("--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let seed: u64 = get_opt("--seed").and_then(|s| s.parse().ok()).unwrap_or(3);
 
     match cmd {
         "steal" => {

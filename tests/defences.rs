@@ -1,7 +1,7 @@
 //! Integration tests for the §9.2 defences as device features.
 
-use huffduff::prelude::*;
 use hd_accel::Defence;
+use huffduff::prelude::*;
 use huffduff_core::eval::score_geometry;
 use huffduff_core::prober::{probe, ProberConfig};
 
@@ -35,6 +35,7 @@ fn prober_cfg() -> ProberConfig {
         strides: vec![1, 2],
         pools: vec![2, 3],
         seed: 31,
+        parallelism: None,
     }
 }
 
@@ -101,9 +102,7 @@ fn pad_edges_blanks_truncation_inside_the_band() {
         probes[0]
             .images
             .iter()
-            .map(|img| {
-                hd_trace::analyze(&device.run(img)).unwrap().layers[0].output_bytes
-            })
+            .map(|img| hd_trace::analyze(&device.run(img)).unwrap().layers[0].output_bytes)
             .collect()
     };
     let plain = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
@@ -116,7 +115,11 @@ fn pad_edges_blanks_truncation_inside_the_band() {
     let v_plain = volumes(&plain);
     let v_def = volumes(&defended);
     assert!(
-        v_plain.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+        v_plain
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
         "undefended shifts must be distinguishable: {v_plain:?}"
     );
     assert!(

@@ -137,7 +137,13 @@ fn information_boundary_attack_uses_only_the_trace() {
     };
     let res = huffduff_core::run_prober(target, &cfg).expect("prober runs");
     assert_eq!(res.layers.len(), 1);
-    assert_eq!(res.layers[0].kind, LayerKind::Conv { kernel: 3, stride: 1 });
+    assert_eq!(
+        res.layers[0].kind,
+        LayerKind::Conv {
+            kernel: 3,
+            stride: 1
+        }
+    );
 }
 
 #[test]

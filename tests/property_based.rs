@@ -90,6 +90,54 @@ proptest! {
         prop_assert_eq!(&refined, &true_pat);
     }
 
+    /// The parallel probe executor is an implementation detail: on
+    /// randomized small victims — including under RandomZeros defence
+    /// noise, which exercises the atomic per-run noise generator — serial
+    /// (`parallelism = Some(1)`) and parallel (`Some(4)`) probing yield
+    /// bit-identical `ProberResult`s.
+    #[test]
+    fn parallel_probe_identical_to_serial(
+        seed in 0u64..200,
+        k1 in 4usize..10,
+        kernel in prop_oneof![Just(3usize), Just(5usize)],
+        pool in any::<bool>(),
+        defended in any::<bool>(),
+    ) {
+        use huffduff_core::prober::{probe, ProberConfig};
+
+        let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, k1, kernel, 1);
+        let x = if pool { b.max_pool(x, 2) } else { x };
+        b.conv(x, k1 + 2, 3, 1);
+        let net = b.build();
+        let params = hd_dnn::graph::Params::init(&net, seed);
+        let mut accel = hd_accel::AccelConfig::eyeriss_v2();
+        if defended {
+            accel = accel.with_defence(hd_accel::Defence::RandomZeros {
+                max_bytes: 32,
+                seed: seed ^ 0xBAD5EED,
+            });
+        }
+        let device = hd_accel::Device::new(net, params, accel);
+        let cfg = ProberConfig {
+            shifts: 10,
+            max_probes: 4,
+            stable_probes: 2,
+            kernels: vec![1, 3, 5],
+            strides: vec![1, 2],
+            pools: vec![2, 3],
+            seed,
+            parallelism: Some(1),
+        };
+        let serial = probe(&device, &cfg);
+        let parallel = probe(&device, &ProberConfig {
+            parallelism: Some(4),
+            ..cfg
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// Trace analysis conserves bytes: the sum of per-layer output bytes
     /// equals total write traffic minus the host-DMA input upload.
     #[test]

@@ -1,8 +1,8 @@
 //! Integration tests for the psum-encoding timing channel across the
 //! accelerator, trace, and attack crates.
 
-use huffduff::prelude::*;
 use hd_accel::EncodeBound;
+use huffduff::prelude::*;
 
 fn device_with(
     k1: usize,
@@ -37,7 +37,11 @@ fn encode_windows_scale_with_channel_count_across_dram_parts() {
 
 #[test]
 fn stock_eyeriss_is_glb_bound_on_every_layer() {
-    let (device, _) = device_with(16, 32, hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr3, 1));
+    let (device, _) = device_with(
+        16,
+        32,
+        hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr3, 1),
+    );
     let img = Tensor3::full(3, 16, 16, 0.4);
     for (id, timing) in device.encode_timings(&img) {
         assert_eq!(
@@ -52,7 +56,11 @@ fn stock_eyeriss_is_glb_bound_on_every_layer() {
 fn windows_are_input_independent() {
     // Dense psum size is P*Q*K regardless of data — the timing channel
     // works with any input (paper §7).
-    let (device, _) = device_with(8, 16, hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr4, 1));
+    let (device, _) = device_with(
+        8,
+        16,
+        hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr4, 1),
+    );
     let a = hd_trace::analyze(&device.run(&Tensor3::full(3, 16, 16, 0.9))).unwrap();
     let mut img = Tensor3::zeros(3, 16, 16);
     img.set(0, 3, 3, 1.0);
@@ -73,7 +81,11 @@ fn windows_are_input_independent() {
 
 #[test]
 fn glb_scaling_flips_bound_at_predicted_multiplier() {
-    let (device, net) = device_with(8, 16, hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr4x, 2));
+    let (device, net) = device_with(
+        8,
+        16,
+        hd_accel::DramConfig::new(hd_accel::DramKind::Lpddr4x, 2),
+    );
     let img = Tensor3::full(3, 16, 16, 0.4);
     let timings = device.encode_timings(&img);
     let min_mult = timings
@@ -92,5 +104,8 @@ fn glb_scaling_flips_bound_at_predicted_multiplier() {
         .encode_timings(&img)
         .iter()
         .any(|(_, t)| t.bound == EncodeBound::DramBound);
-    assert!(flipped, "scaling past the multiplier must create a DRAM-bound layer");
+    assert!(
+        flipped,
+        "scaling past the multiplier must create a DRAM-bound layer"
+    );
 }
