@@ -1,7 +1,7 @@
 //! Accelerator and DRAM configuration.
 
 use crate::defence::Defence;
-use hd_tensor::CompressionScheme;
+use hd_tensor::{CompressionScheme, ConvBackend};
 use std::fmt;
 
 /// DRAM generation.
@@ -131,6 +131,10 @@ pub struct AccelConfig {
     /// relaxation hands the attacker exact tensor volumes — see
     /// `huffduff_core::reversecnn::exact_channels_from_dense_psums`.
     pub separate_batch_norm: bool,
+    /// Host-side convolution backend used to simulate the victim's
+    /// functional execution. Backends are bit-identical, so traces and
+    /// timings are backend-invariant; this only changes simulation speed.
+    pub conv_backend: ConvBackend,
 }
 
 impl AccelConfig {
@@ -156,6 +160,7 @@ impl AccelConfig {
             weight_glb_bytes: 128 * 1024,
             reuse_activations: false,
             separate_batch_norm: false,
+            conv_backend: ConvBackend::default(),
         }
     }
 
@@ -181,6 +186,7 @@ impl AccelConfig {
             weight_glb_bytes: 512 * 1024,
             reuse_activations: false,
             separate_batch_norm: false,
+            conv_backend: ConvBackend::default(),
         }
     }
 
@@ -206,6 +212,12 @@ impl AccelConfig {
     /// Same accelerator with a volume-channel defence enabled.
     pub fn with_defence(mut self, defence: Defence) -> Self {
         self.defence = defence;
+        self
+    }
+
+    /// Same accelerator with an explicit host-side convolution backend.
+    pub fn with_conv_backend(mut self, backend: ConvBackend) -> Self {
+        self.conv_backend = backend;
         self
     }
 

@@ -13,6 +13,48 @@ use crate::encoder::{encode_timing, EncodeTiming};
 use crate::trace_event::{AccessKind, Trace, TraceEvent};
 use hd_dnn::graph::{Network, NodeId, Op, Params, Value};
 use hd_tensor::Tensor3;
+use std::fmt;
+
+/// Typed failure of a device simulation on a malformed graph.
+///
+/// Graphs built through `NetworkBuilder` cannot trigger these (its eager
+/// shape inference rejects the inputs), but graphs assembled via
+/// `Network::from_raw_parts` — e.g. by a future deserializer — can, and the
+/// device reports them as errors instead of panicking mid-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceError {
+    /// Node `node` consumes the output of `input`, but that producer never
+    /// materialized a DRAM region (e.g. a stray extra `Input` node).
+    MissingProducer {
+        /// The consuming node.
+        node: NodeId,
+        /// The input id with no materialized region.
+        input: NodeId,
+    },
+    /// A convolution node's recorded output shape is not an activation map,
+    /// so its MAC count (and compute-phase duration) is undefined.
+    NotAMap {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::MissingProducer { node, input } => write!(
+                f,
+                "node {node} reads input {input}, which produced no DRAM region"
+            ),
+            DeviceError::NotAMap { node } => write!(
+                f,
+                "conv node {node} has a non-map output shape; MAC count undefined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
 
 /// Gap between allocated DRAM regions so tensors never abut.
 const REGION_GAP: u64 = 0x1_0000;
@@ -101,10 +143,25 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if the image shape does not match [`Device::input_shape`].
+    /// Panics if the image shape does not match [`Device::input_shape`], or
+    /// if the sealed graph is malformed (see [`Device::try_run`] for the
+    /// non-panicking variant).
     pub fn run(&self, image: &Tensor3) -> Trace {
+        self.try_run(image)
+            .unwrap_or_else(|e| panic!("device simulation failed: {e}"))
+    }
+
+    /// Executes one inference, reporting malformed-graph conditions as
+    /// [`DeviceError`] instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match [`Device::input_shape`].
+    pub fn try_run(&self, image: &Tensor3) -> Result<Trace, DeviceError> {
         let noise = self.noise_for(image);
-        let trace = self.net.forward(&self.params, image);
+        let trace = self
+            .net
+            .forward_with(&self.params, image, self.cfg.conv_backend);
         let mut out = Trace::default();
         let mut t: u64 = 0;
         let dram_bw = self.cfg.dram.bandwidth_bytes_per_sec();
@@ -175,7 +232,10 @@ impl Device {
                 .unwrap_or(1);
             for _ in 0..passes {
                 for &src in &node.inputs {
-                    let (addr, bytes) = act_regions[src].expect("producer ran earlier");
+                    let (addr, bytes) = act_regions[src].ok_or(DeviceError::MissingProducer {
+                        node: id,
+                        input: src,
+                    })?;
                     t = self.emit_stream(
                         &mut out,
                         t,
@@ -189,7 +249,7 @@ impl Device {
             }
 
             // 3) Compute phase (no bus traffic; psums accumulate on-chip).
-            t += self.compute_duration_ps(id);
+            t += self.compute_duration_ps(id)?;
 
             // 3b) Separate batch-norm execution: write the dense pre-BN
             //     psums to DRAM, then read them back for the BN pass. The
@@ -242,7 +302,7 @@ impl Device {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Per-layer encode timings for an input, keyed by node id. This is a
@@ -250,7 +310,9 @@ impl Device {
     /// information from the trace write timestamps.
     pub fn encode_timings(&self, image: &Tensor3) -> Vec<(NodeId, EncodeTiming)> {
         let noise = self.noise_for(image);
-        let trace = self.net.forward(&self.params, image);
+        let trace = self
+            .net
+            .forward_with(&self.params, image, self.cfg.conv_backend);
         let mut v = Vec::new();
         for (id, node) in self.net.nodes().iter().enumerate() {
             if matches!(node.op, Op::Input | Op::Flatten) {
@@ -265,22 +327,38 @@ impl Device {
     }
 
     /// First-order energy estimate for one inference (see [`crate::energy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed graphs; see [`Device::try_energy_estimate`].
     pub fn energy_estimate(
         &self,
         image: &Tensor3,
         model: &crate::energy::EnergyModel,
     ) -> crate::energy::EnergyReport {
-        let trace = self.run(image);
+        self.try_energy_estimate(image, model)
+            .unwrap_or_else(|e| panic!("device simulation failed: {e}"))
+    }
+
+    /// Non-panicking variant of [`Device::energy_estimate`].
+    pub fn try_energy_estimate(
+        &self,
+        image: &Tensor3,
+        model: &crate::energy::EnergyModel,
+    ) -> Result<crate::energy::EnergyReport, DeviceError> {
+        let trace = self.try_run(image)?;
         let mut macs = 0.0;
         let mut psums = 0.0;
         for (id, node) in self.net.nodes().iter().enumerate() {
             if matches!(node.op, Op::Input | Op::Flatten) {
                 continue;
             }
-            macs += effective_macs(&self.net, &self.params, id);
+            macs += effective_macs(&self.net, &self.params, id)?;
             psums += self.net.value_shape(id).len() as f64;
         }
-        crate::energy::estimate_energy(model, &self.cfg, &trace, macs, psums)
+        Ok(crate::energy::estimate_energy(
+            model, &self.cfg, &trace, macs, psums,
+        ))
     }
 
     fn value_transfer_bytes(&self, v: &Value, noise: &NoiseState) -> u64 {
@@ -311,10 +389,10 @@ impl Device {
         base + defence_padding_bytes(&self.cfg.defence, noise, edge_zero_cells, self.cfg.act_bits)
     }
 
-    fn compute_duration_ps(&self, id: NodeId) -> u64 {
-        let macs = effective_macs(&self.net, &self.params, id);
+    fn compute_duration_ps(&self, id: NodeId) -> Result<u64, DeviceError> {
+        let macs = effective_macs(&self.net, &self.params, id)?;
         let cycles = macs / self.cfg.macs_per_cycle.max(1.0);
-        (cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64
+        Ok((cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -475,16 +553,22 @@ fn weight_transfer_bytes(net: &Network, params: &Params, cfg: &AccelConfig, id: 
 }
 
 /// Effective (zero-skipped) MAC estimate for the compute-phase duration.
-fn effective_macs(net: &Network, params: &Params, id: NodeId) -> f64 {
-    match &net.nodes()[id].op {
+fn effective_macs(net: &Network, params: &Params, id: NodeId) -> Result<f64, DeviceError> {
+    Ok(match &net.nodes()[id].op {
         Op::Conv(spec) => {
-            let out = net.value_shape(id).as_map().unwrap();
+            let out = net
+                .value_shape(id)
+                .as_map()
+                .ok_or(DeviceError::NotAMap { node: id })?;
             let p = params.conv(id);
             let density = p.w.nnz() as f64 / p.w.len().max(1) as f64;
             (out.h * out.w) as f64 * p.w.len() as f64 / (spec.stride * spec.stride) as f64 * density
         }
         Op::DwConv { .. } => {
-            let out = net.value_shape(id).as_map().unwrap();
+            let out = net
+                .value_shape(id)
+                .as_map()
+                .ok_or(DeviceError::NotAMap { node: id })?;
             let p = params.dwconv(id);
             let density = p.w.nnz() as f64 / p.w.len().max(1) as f64;
             (out.h * out.w) as f64 * p.w.len() as f64 * density
@@ -495,7 +579,7 @@ fn effective_macs(net: &Network, params: &Params, id: NodeId) -> f64 {
         }
         Op::Pool { .. } | Op::Add { .. } | Op::GlobalAvgPool => net.value_shape(id).len() as f64,
         _ => 0.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -651,5 +735,139 @@ mod tests {
     fn wrong_image_shape_panics() {
         let dev = tiny_device();
         let _ = dev.run(&Tensor3::zeros(2, 4, 4));
+    }
+
+    #[test]
+    fn conv_backend_does_not_change_traces_or_timings() {
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.conv(x, 6, 3, 2);
+        b.global_avg_pool(x);
+        let net = b.build();
+        let params = Params::init(&net, 42);
+        let direct = Device::new(
+            net.clone(),
+            params.clone(),
+            AccelConfig::eyeriss_v2().with_conv_backend(hd_tensor::ConvBackend::Direct),
+        );
+        let gemm = Device::new(
+            net,
+            params,
+            AccelConfig::eyeriss_v2().with_conv_backend(hd_tensor::ConvBackend::Im2colGemm),
+        );
+        let img = Tensor3::full(2, 8, 8, 0.5); // dense: exercises both dense backends
+        assert_eq!(direct.run(&img), gemm.run(&img));
+        assert_eq!(direct.encode_timings(&img), gemm.encode_timings(&img));
+    }
+
+    // Regression tests for the panics that `DeviceError` replaced: graphs
+    // below are unreachable via NetworkBuilder, so they are assembled raw.
+
+    /// A stray second `Input` node feeding a conv. `forward` succeeds (Input
+    /// nodes just clone the image), but the device allocates no DRAM region
+    /// for the stray input — this used to panic with "producer ran earlier".
+    #[test]
+    fn stray_input_yields_missing_producer_error() {
+        use hd_dnn::graph::{ConvSpec, Node, ValueShape};
+        use hd_tensor::Shape3;
+        let shape = Shape3::new(2, 8, 8);
+        let spec = ConvSpec::standard(4, 3, 1);
+        let net = Network::from_raw_parts(
+            vec![
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Conv(spec),
+                    inputs: vec![1],
+                },
+            ],
+            shape,
+            vec![
+                ValueShape::Map(shape),
+                ValueShape::Map(shape),
+                ValueShape::Map(Shape3::new(4, 8, 8)),
+            ],
+            vec!["input0".into(), "input1".into(), "conv2".into()],
+        );
+        let params = Params::init(&net, 1);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let err = dev.try_run(&Tensor3::full(2, 8, 8, 0.5)).unwrap_err();
+        assert_eq!(err, DeviceError::MissingProducer { node: 2, input: 1 });
+        assert!(err.to_string().contains("no DRAM region"));
+    }
+
+    /// A conv node whose recorded output shape is a vector. `forward` is
+    /// shape-oblivious, but the MAC estimate used to hit `as_map().unwrap()`.
+    #[test]
+    fn vector_shaped_conv_yields_not_a_map_error() {
+        use hd_dnn::graph::{ConvSpec, Node, ValueShape};
+        use hd_tensor::Shape3;
+        let shape = Shape3::new(2, 8, 8);
+        let spec = ConvSpec::standard(4, 3, 1);
+        let net = Network::from_raw_parts(
+            vec![
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Conv(spec),
+                    inputs: vec![0],
+                },
+            ],
+            shape,
+            vec![ValueShape::Map(shape), ValueShape::Vector(4 * 8 * 8)],
+            vec!["input0".into(), "conv1".into()],
+        );
+        let params = Params::init(&net, 1);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let err = dev.try_run(&img).unwrap_err();
+        assert_eq!(err, DeviceError::NotAMap { node: 1 });
+        let err = dev
+            .try_energy_estimate(&img, &crate::energy::EnergyModel::default())
+            .unwrap_err();
+        assert_eq!(err, DeviceError::NotAMap { node: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "no DRAM region")]
+    fn run_wrapper_panics_with_typed_message() {
+        use hd_dnn::graph::{ConvSpec, Node, ValueShape};
+        use hd_tensor::Shape3;
+        let shape = Shape3::new(2, 8, 8);
+        let net = Network::from_raw_parts(
+            vec![
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Conv(ConvSpec::standard(4, 3, 1)),
+                    inputs: vec![1],
+                },
+            ],
+            shape,
+            vec![
+                ValueShape::Map(shape),
+                ValueShape::Map(shape),
+                ValueShape::Map(Shape3::new(4, 8, 8)),
+            ],
+            vec!["input0".into(), "input1".into(), "conv2".into()],
+        );
+        let params = Params::init(&net, 1);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let _ = dev.run(&Tensor3::full(2, 8, 8, 0.5));
     }
 }

@@ -37,7 +37,7 @@ pub mod trace_event;
 
 pub use config::{AccelConfig, DramConfig, DramKind};
 pub use defence::Defence;
-pub use device::{Device, Oracle};
+pub use device::{Device, DeviceError, Oracle};
 pub use encoder::{encode_timing, EncodeBound, EncodeTiming};
 pub use energy::{EnergyModel, EnergyReport};
 pub use pipeline::{simulate_drain, PipelineResult};

@@ -1,0 +1,195 @@
+//! Bench for the im2col+GEMM convolution backend: times every VGG-S conv
+//! layer shape under the `Direct` loop and the `Im2colGemm` backend, with
+//! dense and paper-style pruned weights, asserts the outputs are
+//! bit-identical, and writes the wall-clock numbers to
+//! `BENCH_conv_gemm.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p hd-bench --bench fig_conv_backend
+//! HD_BENCH_SMOKE=1 cargo bench -p hd-bench --bench fig_conv_backend   # CI
+//! ```
+//!
+//! Smoke mode benches only the first and largest layers and skips the JSON
+//! write (so CI cannot clobber the checked-in full-run artifact), which
+//! keeps the run to seconds while still exercising both backends end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hd_dnn::graph::{Op, ValueShape};
+use hd_tensor::conv::{conv2d, Conv2dCfg, ConvBackend};
+use hd_tensor::{Tensor3, Tensor4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One VGG-S convolution workload: input tensor + weights + cfg skeleton.
+struct Layer {
+    name: String,
+    input: Tensor3,
+    weights: Tensor4,
+    stride: usize,
+    /// Fraction of weights zeroed in the pruned variant.
+    sparsity: f64,
+}
+
+/// Extracts every conv layer shape from the VGG-S zoo graph and
+/// materializes seed-pinned dense inputs and He-initialized weights.
+fn vgg_s_layers() -> Vec<Layer> {
+    let net = hd_dnn::zoo::vgg_s(10);
+    let mut layers = Vec::new();
+    for (pos, &id) in net.conv_nodes().iter().enumerate() {
+        let node = &net.nodes()[id];
+        let Op::Conv(spec) = &node.op else { continue };
+        let ValueShape::Map(shape) = net.value_shape(node.inputs[0]) else {
+            continue;
+        };
+        let (c, h, w) = (shape.c, shape.h, shape.w);
+        let mut input = Tensor3::zeros(c, h, w);
+        let mut rng = StdRng::seed_from_u64(0xC0DE + pos as u64);
+        input.fill_uniform(&mut rng, 0.05, 1.0);
+        let mut weights = Tensor4::zeros(spec.out_channels, c, spec.kernel, spec.kernel);
+        weights.init_he(&mut StdRng::seed_from_u64(0xF1EE + pos as u64));
+        layers.push(Layer {
+            name: format!(
+                "{}_{}x{}x{}x{}",
+                net.name(id),
+                spec.out_channels,
+                c,
+                spec.kernel,
+                spec.kernel
+            ),
+            input,
+            weights,
+            stride: spec.stride,
+            // Paper-shaped profile: first layer lightly pruned, interior heavily.
+            sparsity: if pos == 0 { 0.45 } else { 0.7 },
+        });
+    }
+    layers
+}
+
+/// Zeroes `sparsity` of the weights (element-wise, seed-pinned).
+fn pruned(weights: &Tensor4, sparsity: f64, seed: u64) -> Tensor4 {
+    let mut w = weights.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in w.data_mut().iter_mut() {
+        if rng.gen_range(0.0..1.0) < sparsity as f32 {
+            *v = 0.0;
+        }
+    }
+    w
+}
+
+/// Times one conv under criterion, recording every sample.
+fn timed_conv(
+    c: &mut Criterion,
+    id: &str,
+    x: &Tensor3,
+    w: &Tensor4,
+    cfg: &Conv2dCfg,
+) -> (Tensor3, Vec<f64>) {
+    let times = Mutex::new(Vec::new());
+    let last = Mutex::new(None);
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            let out = conv2d(x, w, None, cfg);
+            times.lock().unwrap().push(t0.elapsed().as_secs_f64());
+            *last.lock().unwrap() = Some(out);
+        })
+    });
+    let mut times = times.into_inner().unwrap();
+    if times.len() > 1 {
+        times.remove(0); // warmup sample
+    }
+    (last.into_inner().unwrap().expect("conv ran"), times)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("HD_BENCH_SMOKE").is_ok();
+    let mut layers = vgg_s_layers();
+    if smoke {
+        // First (stem) and last (largest, conv5_3 at 512x512x3x3) layers only.
+        let last = layers.len() - 1;
+        layers = vec![layers.remove(last), layers.remove(0)];
+        layers.reverse();
+    }
+
+    let mean = |ts: &[f64]| ts.iter().sum::<f64>() / ts.len() as f64;
+    let mut rows = Vec::new();
+    let mut largest: Option<(usize, f64)> = None; // (weight count, speedup)
+
+    for (pos, layer) in layers.iter().enumerate() {
+        for (variant, weights) in [
+            ("dense", layer.weights.clone()),
+            (
+                "pruned",
+                pruned(&layer.weights, layer.sparsity, 0x5EED + pos as u64),
+            ),
+        ] {
+            let direct_cfg = Conv2dCfg::new(layer.stride, hd_tensor::conv::Padding::Same)
+                .with_backend(ConvBackend::Direct);
+            let gemm_cfg = direct_cfg.with_backend(ConvBackend::Im2colGemm);
+            let (d_out, d_times) = timed_conv(
+                c,
+                &format!("{}_{variant}_direct", layer.name),
+                &layer.input,
+                &weights,
+                &direct_cfg,
+            );
+            let (g_out, g_times) = timed_conv(
+                c,
+                &format!("{}_{variant}_gemm", layer.name),
+                &layer.input,
+                &weights,
+                &gemm_cfg,
+            );
+            assert_eq!(
+                d_out.data(),
+                g_out.data(),
+                "backends diverged on {} ({variant})",
+                layer.name
+            );
+            let (d_ms, g_ms) = (mean(&d_times) * 1e3, mean(&g_times) * 1e3);
+            let speedup = d_ms / g_ms;
+            println!(
+                "{} [{variant}]: direct {d_ms:.3} ms, gemm {g_ms:.3} ms, {speedup:.2}x",
+                layer.name
+            );
+            if variant == "dense" {
+                let wcount = weights.len();
+                if largest.is_none_or(|(n, _)| wcount > n) {
+                    largest = Some((wcount, speedup));
+                }
+            }
+            rows.push(format!(
+                "    {{ \"layer\": \"{}\", \"weights\": \"{variant}\", \
+                 \"direct_ms\": {d_ms:.3}, \"gemm_ms\": {g_ms:.3}, \"speedup\": {speedup:.3} }}",
+                layer.name
+            ));
+        }
+    }
+
+    let (_, largest_speedup) = largest.expect("at least one layer benched");
+    if smoke {
+        // Don't clobber the checked-in full-run artifact with smoke numbers.
+        println!("smoke mode: skipping BENCH_conv_gemm.json (largest-layer dense speedup {largest_speedup:.2}x)");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fig_conv_backend\",\n  \"victim\": \"VGG-S conv layer shapes\",\n  \
+         \"smoke\": {smoke},\n  \"largest_layer_dense_speedup\": {largest_speedup:.3},\n  \
+         \"results_bit_identical\": true,\n  \"layers\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_conv_gemm.json");
+    std::fs::write(path, json).expect("write BENCH_conv_gemm.json");
+    println!("wrote {path} (largest-layer dense speedup {largest_speedup:.2}x)");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench
+}
+criterion_main!(benches);

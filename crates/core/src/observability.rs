@@ -88,10 +88,7 @@ fn trial(cfg: &ObservabilityConfig, rng: &mut StdRng) -> bool {
         x
     };
 
-    let c = Conv2dCfg {
-        stride: 1,
-        padding: Padding::Same,
-    };
+    let c = Conv2dCfg::new(1, Padding::Same);
     let nnz = |inp: &Tensor3| {
         let mut out = conv2d(inp, &kernel, Some(&[bias]), &c);
         out.relu_inplace();

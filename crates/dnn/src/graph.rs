@@ -7,7 +7,7 @@
 //! explicit and queryable, so experiments can compare recovered vs. actual
 //! geometry directly.
 
-use hd_tensor::conv::{conv2d, conv_out_dim, Conv2dCfg, Padding};
+use hd_tensor::conv::{conv2d, conv_out_dim, Conv2dCfg, ConvBackend, Padding};
 use hd_tensor::dwconv::dwconv2d;
 use hd_tensor::norm::Affine;
 use hd_tensor::pool::{global_avg_pool, pool2d, PoolKind};
@@ -195,6 +195,34 @@ pub struct Network {
 }
 
 impl Network {
+    /// Assembles a network from pre-built parts **without validation**.
+    ///
+    /// [`NetworkBuilder`] runs eager shape inference and is the supported
+    /// construction path; this escape hatch exists for tests (and future
+    /// deserializers) that need to materialize graphs the builder would
+    /// reject — e.g. to exercise [`hd-accel`]'s typed device errors on
+    /// malformed graphs. `nodes`, `shapes`, and `names` must be
+    /// index-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shapes` or `names` length differs from `nodes`.
+    pub fn from_raw_parts(
+        nodes: Vec<Node>,
+        input_shape: Shape3,
+        shapes: Vec<ValueShape>,
+        names: Vec<String>,
+    ) -> Network {
+        assert_eq!(nodes.len(), shapes.len(), "one shape per node");
+        assert_eq!(nodes.len(), names.len(), "one name per node");
+        Network {
+            nodes,
+            input_shape,
+            shapes,
+            names,
+        }
+    }
+
     /// Nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -271,13 +299,31 @@ impl Network {
             .sum()
     }
 
-    /// Runs the network, keeping every intermediate needed for backprop.
+    /// Runs the network with the default convolution backend, keeping every
+    /// intermediate needed for backprop.
     ///
     /// # Panics
     ///
     /// Panics if the input shape does not match the network's declared input
     /// shape, or if parameters are missing for a weighted node.
     pub fn forward(&self, params: &Params, input: &Tensor3) -> ForwardTrace {
+        self.forward_with(params, input, ConvBackend::default())
+    }
+
+    /// Runs the network with an explicit convolution backend.
+    ///
+    /// Backends are bit-identical (see `hd_tensor::gemm`), so this only
+    /// changes wall-clock time, never the trace contents.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::forward`].
+    pub fn forward_with(
+        &self,
+        params: &Params,
+        input: &Tensor3,
+        backend: ConvBackend,
+    ) -> ForwardTrace {
         assert_eq!(
             input.shape(),
             self.input_shape,
@@ -296,10 +342,7 @@ impl Network {
                 Op::Conv(spec) => {
                     let x = traces[node.inputs[0]].out.map();
                     let lp = params.conv(id);
-                    let cfg = Conv2dCfg {
-                        stride: spec.stride,
-                        padding: spec.padding,
-                    };
+                    let cfg = Conv2dCfg::new(spec.stride, spec.padding).with_backend(backend);
                     let conv_out = conv2d(x, lp.w, lp.b.as_deref(), &cfg);
                     let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
                         (Some(conv_out.clone()), bn.apply(&conv_out))
@@ -327,10 +370,7 @@ impl Network {
                 } => {
                     let x = traces[node.inputs[0]].out.map();
                     let lp = params.dwconv(id);
-                    let cfg = Conv2dCfg {
-                        stride: *stride,
-                        padding: Padding::Same,
-                    };
+                    let cfg = Conv2dCfg::new(*stride, Padding::Same).with_backend(backend);
                     let conv_out = dwconv2d(x, lp.w, &cfg);
                     let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
                         (Some(conv_out.clone()), bn.apply(&conv_out))
@@ -1002,6 +1042,34 @@ mod tests {
         let params = Params::init(&net, 2);
         let out = net.forward(&params, &Tensor3::full(6, 8, 8, 1.0));
         assert_eq!(out.value(1).map().c(), 6);
+    }
+
+    #[test]
+    fn forward_backends_are_bit_identical() {
+        let net = tiny_net();
+        let params = Params::init(&net, 3);
+        let mut input = Tensor3::zeros(3, 8, 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        input.fill_uniform(&mut rng, 0.1, 1.0);
+        let direct = net.forward_with(&params, &input, ConvBackend::Direct);
+        let gemm = net.forward_with(&params, &input, ConvBackend::Im2colGemm);
+        for (a, b) in direct.traces.iter().zip(&gemm.traces) {
+            for (x, y) in a.out.flat().iter().zip(b.out.flat()) {
+                assert!(x.to_bits() == y.to_bits(), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_builder_output() {
+        let net = tiny_net();
+        let rebuilt = Network::from_raw_parts(
+            net.nodes().to_vec(),
+            net.input_shape(),
+            (0..net.len()).map(|id| net.value_shape(id)).collect(),
+            (0..net.len()).map(|id| net.name(id).to_string()).collect(),
+        );
+        assert_eq!(net, rebuilt);
     }
 
     #[test]

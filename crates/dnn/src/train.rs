@@ -112,10 +112,7 @@ pub fn backward(
                     bn_grads = Some((gs, gb));
                 }
                 let x = trace.traces[node.inputs[0]].out.map();
-                let cfg = Conv2dCfg {
-                    stride: spec.stride,
-                    padding: spec.padding,
-                };
+                let cfg = Conv2dCfg::new(spec.stride, spec.padding);
                 let gw = conv2d_weight_grad(&g, x, (spec.kernel, spec.kernel), &cfg);
                 let gb = spec.bias.then(|| conv2d_bias_grad(&g));
                 let gx = conv2d_input_grad(&g, lp.w, (x.c(), x.h(), x.w()), &cfg);
@@ -146,10 +143,7 @@ pub fn backward(
                     bn_grads = Some((gs, gb));
                 }
                 let x = trace.traces[node.inputs[0]].out.map();
-                let cfg = Conv2dCfg {
-                    stride: *stride,
-                    padding: hd_tensor::conv::Padding::Same,
-                };
+                let cfg = Conv2dCfg::new(*stride, hd_tensor::conv::Padding::Same);
                 let gw = dwconv2d_weight_grad(&g, x, (*kernel, *kernel), &cfg);
                 let gx = dwconv2d_input_grad(&g, lp.w, (x.c(), x.h(), x.w()), &cfg);
                 layer_grads[id] = Some(LayerGrads::DwConv {

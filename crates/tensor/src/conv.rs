@@ -16,6 +16,41 @@ pub enum Padding {
     Valid,
 }
 
+/// Dense-compute backend used by [`conv2d`] once the shared sparse-input
+/// scatter fast path has declined the inference.
+///
+/// Both backends are bit-identical (see the accumulation-order contract in
+/// [`crate::gemm`]), so traces and timings derived from the outputs do not
+/// depend on this choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ConvBackend {
+    /// Naive zero-skipping loop nest (the original reference kernel).
+    Direct,
+    /// im2col lowering + cache-blocked GEMM ([`crate::im2col`]).
+    #[default]
+    Im2colGemm,
+}
+
+impl ConvBackend {
+    /// Parses a CLI-style backend name (`direct` / `gemm`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "direct" => Some(ConvBackend::Direct),
+            "gemm" | "im2col" | "im2col-gemm" => Some(ConvBackend::Im2colGemm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ConvBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConvBackend::Direct => "direct",
+            ConvBackend::Im2colGemm => "gemm",
+        })
+    }
+}
+
 /// Convolution hyperparameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Conv2dCfg {
@@ -23,14 +58,30 @@ pub struct Conv2dCfg {
     pub stride: usize,
     /// Padding mode.
     pub padding: Padding,
+    /// Dense-compute backend (does not affect results, only speed).
+    pub backend: ConvBackend,
+}
+
+impl Conv2dCfg {
+    /// Config with the default backend.
+    pub fn new(stride: usize, padding: Padding) -> Self {
+        Conv2dCfg {
+            stride,
+            padding,
+            backend: ConvBackend::default(),
+        }
+    }
+
+    /// Returns the config with `backend` selected.
+    pub fn with_backend(mut self, backend: ConvBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for Conv2dCfg {
     fn default() -> Self {
-        Conv2dCfg {
-            stride: 1,
-            padding: Padding::Same,
-        }
+        Conv2dCfg::new(1, Padding::Same)
     }
 }
 
@@ -75,7 +126,7 @@ pub fn same_pad(input: usize, kernel: usize, stride: usize) -> usize {
 /// // 1x1 identity kernel leaves the input unchanged.
 /// let x = Tensor3::from_vec(1, 1, 3, vec![1.0, 2.0, 3.0]);
 /// let w = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
-/// let y = conv2d(&x, &w, None, &Conv2dCfg { stride: 1, padding: Padding::Same });
+/// let y = conv2d(&x, &w, None, &Conv2dCfg::new(1, Padding::Same));
 /// assert_eq!(y.data(), x.data());
 /// ```
 pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Conv2dCfg) -> Tensor3 {
@@ -96,16 +147,30 @@ pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Con
     }
 
     // Probe images and post-ReLU activations of pruned networks are mostly
-    // zero; scattering from the non-zero inputs is then far cheaper than the
-    // direct gather loop.
+    // zero; scattering from the non-zero inputs is then far cheaper than
+    // either dense backend. Shared by both backends so the choice below
+    // cannot regress sparse probe inferences.
     let nnz = input.nnz();
     if nnz * 8 < input.shape().len() {
         return conv2d_scatter(input, weight, bias, cfg, nnz);
     }
 
-    // Heavily pruned weights: iterate only the surviving taps per output
-    // channel (the software analogue of the accelerator's zero-skipping).
-    if weight.nnz() * 3 < weight.len() {
+    // Extremely pruned weights (paper victims sit near 99% sparsity):
+    // iterating only the surviving taps costs `out_pixels x nnz(W)`, which
+    // beats even the blocked GEMM (whose cost stays near-dense once most
+    // tap positions are live in *some* filter). Shared by both backends.
+    let weight_nnz = weight.nnz();
+    if weight_nnz * 8 < weight.len() {
+        return conv2d_sparse_weights(input, weight, bias, cfg);
+    }
+
+    if cfg.backend == ConvBackend::Im2colGemm {
+        return crate::im2col::conv2d_im2col_gemm(input, weight, bias, cfg);
+    }
+
+    // Moderately pruned weights, direct backend only: GEMM handles this
+    // density range faster, but the reference loop still skips zeros.
+    if weight_nnz * 3 < weight.len() {
         return conv2d_sparse_weights(input, weight, bias, cfg);
     }
 
@@ -350,6 +415,9 @@ pub fn conv2d_weight_grad(
     kernel: (usize, usize),
     cfg: &Conv2dCfg,
 ) -> Tensor4 {
+    if cfg.backend == ConvBackend::Im2colGemm {
+        return crate::im2col::conv2d_weight_grad_gemm(grad_out, input, kernel, cfg);
+    }
     let (kr, ks) = kernel;
     let (pad_y, pad_x) = match cfg.padding {
         Padding::Same => (
@@ -411,7 +479,7 @@ mod tests {
     use super::*;
 
     fn cfg(stride: usize, padding: Padding) -> Conv2dCfg {
-        Conv2dCfg { stride, padding }
+        Conv2dCfg::new(stride, padding)
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::{Tensor3, Tensor4};
 ///
 /// let x = Tensor3::full(2, 3, 3, 1.0);
 /// let w = Tensor4::from_vec(2, 1, 1, 1, vec![2.0, 3.0]);
-/// let y = dwconv2d(&x, &w, &Conv2dCfg { stride: 1, padding: Padding::Same });
+/// let y = dwconv2d(&x, &w, &Conv2dCfg::new(1, Padding::Same));
 /// assert_eq!(y.at(0, 0, 0), 2.0);
 /// assert_eq!(y.at(1, 0, 0), 3.0);
 /// ```
@@ -166,10 +166,7 @@ mod tests {
     use super::*;
 
     fn cfg(stride: usize) -> Conv2dCfg {
-        Conv2dCfg {
-            stride,
-            padding: Padding::Same,
-        }
+        Conv2dCfg::new(stride, Padding::Same)
     }
 
     #[test]

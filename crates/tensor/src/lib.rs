@@ -6,12 +6,14 @@
 //!
 //! * [`Tensor3`] — a single-sample activation map in `C x H x W` layout,
 //! * [`Tensor4`] — a convolution weight tensor in `K x C x R x S` layout,
-//! * [`conv`], [`pool`], [`norm`] — forward (and im2col-free) kernels,
+//! * [`conv`], [`pool`], [`norm`] — forward kernels; dense convolutions can
+//!   run on a direct loop nest or the [`im2col`] + blocked-[`gemm`] backend
+//!   (selected via [`ConvBackend`], bit-identical by construction),
 //! * [`sparse`] — bitmap / run-length / CSC transfer codecs that determine
 //!   exactly how many bytes cross the DRAM bus for a given tensor.
 //!
-//! All kernels are written for clarity and determinism rather than raw speed;
-//! CIFAR-scale networks run in milliseconds, which is all the attack needs.
+//! All kernels are deterministic; the GEMM backend keeps CIFAR-scale probe
+//! campaigns fast without perturbing a single output bit.
 //!
 //! # Examples
 //!
@@ -20,19 +22,22 @@
 //!
 //! let input = Tensor3::zeros(3, 8, 8);
 //! let weight = Tensor4::zeros(16, 3, 3, 3);
-//! let out = conv2d(&input, &weight, None, &Conv2dCfg { stride: 1, padding: Padding::Same });
+//! let out = conv2d(&input, &weight, None, &Conv2dCfg::new(1, Padding::Same));
 //! assert_eq!((out.c(), out.h(), out.w()), (16, 8, 8));
 //! ```
 
 pub mod conv;
 pub mod dwconv;
+pub mod gemm;
 pub mod huffman;
+pub mod im2col;
 pub mod norm;
 pub mod pool;
 pub mod shape;
 pub mod sparse;
 pub mod tensor;
 
+pub use conv::ConvBackend;
 pub use shape::Shape3;
 pub use sparse::{CompressionScheme, EncodedSize};
 pub use tensor::{Tensor3, Tensor4};

@@ -1,0 +1,208 @@
+//! Differential tests between the `Direct` and `Im2colGemm` convolution
+//! backends: random shapes, strides, paddings, bias on/off, and pruned
+//! weights, plus the edge cases that historically break im2col
+//! implementations (1x1 kernels, stride > kernel, inputs smaller than the
+//! kernel, zero-dimensional `Valid` outputs).
+
+use hd_tensor::conv::{conv2d, conv2d_weight_grad, conv_out_dim, Conv2dCfg, ConvBackend, Padding};
+use hd_tensor::{Tensor3, Tensor4};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense strictly-positive tensor: keeps `conv2d` off the shared
+/// sparse-input scatter path so both dense backends actually run.
+fn dense_tensor(seed: u64, c: usize, h: usize, w: usize) -> Tensor3 {
+    let mut t = Tensor3::zeros(c, h, w);
+    let mut rng = StdRng::seed_from_u64(seed);
+    t.fill_uniform(&mut rng, 0.05, 1.0);
+    t
+}
+
+fn random_weights(seed: u64, k: usize, c: usize, kernel: usize) -> Tensor4 {
+    let mut w = Tensor4::zeros(k, c, kernel, kernel);
+    w.init_he(&mut StdRng::seed_from_u64(seed));
+    w
+}
+
+/// Runs the same convolution on both backends.
+fn run_both(
+    x: &Tensor3,
+    w: &Tensor4,
+    bias: Option<&[f32]>,
+    stride: usize,
+    padding: Padding,
+) -> (Tensor3, Tensor3) {
+    let direct = conv2d(
+        x,
+        w,
+        bias,
+        &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Direct),
+    );
+    let gemm = conv2d(
+        x,
+        w,
+        bias,
+        &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Im2colGemm),
+    );
+    assert_eq!(direct.shape(), gemm.shape(), "backend shapes diverge");
+    (direct, gemm)
+}
+
+fn assert_close(direct: &[f32], gemm: &[f32]) {
+    for (a, b) in direct.iter().zip(gemm) {
+        assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random shape/stride/padding/bias sweep: outputs agree within 1e-4.
+    #[test]
+    fn backends_agree_on_random_convs(
+        seed in 0u64..10_000,
+        in_c in 1usize..4,
+        out_c in 1usize..6,
+        h in 3usize..10,
+        w in 3usize..10,
+        kernel in 1usize..5,
+        stride in 1usize..4,
+        padding in prop_oneof![Just(Padding::Same), Just(Padding::Valid)],
+        with_bias in 0u32..2,
+    ) {
+        let x = dense_tensor(seed, in_c, h, w);
+        let wt = random_weights(seed ^ 0xBEEF, out_c, in_c, kernel);
+        let bias: Option<Vec<f32>> = (with_bias == 1).then(|| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB1A5);
+            (0..out_c).map(|_| rng.gen_range(-1.0..1.0)).collect()
+        });
+        let (direct, gemm) = run_both(&x, &wt, bias.as_deref(), stride, padding);
+        assert_close(direct.data(), gemm.data());
+    }
+
+    /// Pruned weights (random per-element and whole-filter pruning):
+    /// the GEMM path's tap/row skipping must not change any output.
+    #[test]
+    fn backends_agree_on_pruned_weights(
+        seed in 0u64..10_000,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        keep_percent in 5u32..60,
+    ) {
+        let x = dense_tensor(seed, 3, 9, 9);
+        let mut wt = random_weights(seed ^ 0xF00D, 6, 3, kernel);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E);
+        for v in wt.data_mut().iter_mut() {
+            if rng.gen_range(0u32..100) >= keep_percent {
+                *v = 0.0;
+            }
+        }
+        // Zero an entire output filter so the row-skip path triggers too.
+        let per_filter = wt.len() / 6;
+        for i in 0..per_filter {
+            wt.data_mut()[2 * per_filter + i] = 0.0;
+        }
+        let (direct, gemm) = run_both(&x, &wt, Some(&[0.5, -0.5, 0.25, 0.0, 1.0, -1.0]), stride, Padding::Same);
+        assert_close(direct.data(), gemm.data());
+    }
+
+    /// Integer-valued inputs and weights: every product and sum is exactly
+    /// representable, so the backends must agree bit-for-bit.
+    #[test]
+    fn backends_exact_on_integer_inputs(
+        seed in 0u64..10_000,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in prop_oneof![Just(Padding::Same), Just(Padding::Valid)],
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor3::zeros(2, 7, 7);
+        for v in x.data_mut().iter_mut() {
+            *v = rng.gen_range(1u32..5) as f32; // dense, integral
+        }
+        let mut wt = Tensor4::zeros(4, 2, kernel, kernel);
+        for v in wt.data_mut().iter_mut() {
+            *v = rng.gen_range(0u32..5) as f32 - 2.0; // integral, with zeros
+        }
+        let bias = [1.0f32, -2.0, 0.0, 3.0];
+        let (direct, gemm) = run_both(&x, &wt, Some(&bias), stride, padding);
+        for (a, b) in direct.data().iter().zip(gemm.data()) {
+            prop_assert!(a.to_bits() == b.to_bits(), "{a} vs {b} not exact");
+        }
+    }
+
+    /// The weight-gradient GEMM agrees with the direct loop.
+    #[test]
+    fn weight_grad_backends_agree(
+        seed in 0u64..10_000,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in prop_oneof![Just(Padding::Same), Just(Padding::Valid)],
+    ) {
+        let x = dense_tensor(seed, 2, 8, 8);
+        let oh = conv_out_dim(8, kernel, stride, padding);
+        if oh > 0 {
+            let g = dense_tensor(seed ^ 0x6AD, 3, oh, oh);
+            let direct = conv2d_weight_grad(&g, &x, (kernel, kernel),
+                &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Direct));
+            let gemm = conv2d_weight_grad(&g, &x, (kernel, kernel),
+                &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Im2colGemm));
+            assert_close(direct.data(), gemm.data());
+        }
+    }
+}
+
+// ---- Edge cases the property sweep surfaced, pinned as unit tests ----
+
+#[test]
+fn one_by_one_kernel_all_strides() {
+    let x = dense_tensor(1, 3, 6, 6);
+    let w = random_weights(2, 5, 3, 1);
+    for stride in 1..=3 {
+        for padding in [Padding::Same, Padding::Valid] {
+            let (direct, gemm) = run_both(&x, &w, None, stride, padding);
+            assert_close(direct.data(), gemm.data());
+        }
+    }
+}
+
+#[test]
+fn stride_larger_than_kernel() {
+    let x = dense_tensor(3, 2, 9, 9);
+    let w = random_weights(4, 3, 2, 2);
+    for padding in [Padding::Same, Padding::Valid] {
+        let (direct, gemm) = run_both(&x, &w, Some(&[0.5, -0.5, 0.0]), 3, padding);
+        assert_close(direct.data(), gemm.data());
+    }
+}
+
+#[test]
+fn input_smaller_than_kernel_same_padding() {
+    // 2x2 input under a 5x5 kernel: every patch is mostly padding.
+    let x = dense_tensor(5, 1, 2, 2);
+    let w = random_weights(6, 2, 1, 5);
+    let (direct, gemm) = run_both(&x, &w, Some(&[1.0, 2.0]), 1, Padding::Same);
+    assert_eq!((gemm.h(), gemm.w()), (2, 2));
+    assert_close(direct.data(), gemm.data());
+}
+
+#[test]
+fn input_smaller_than_kernel_valid_is_empty() {
+    // Valid padding cannot place the kernel at all: 0-dim output.
+    let x = dense_tensor(7, 2, 3, 3);
+    let w = random_weights(8, 3, 2, 4);
+    let (direct, gemm) = run_both(&x, &w, None, 1, Padding::Valid);
+    assert_eq!((direct.h(), direct.w()), (0, 0));
+    assert_eq!((gemm.h(), gemm.w()), (0, 0));
+}
+
+#[test]
+fn single_pixel_output_valid() {
+    // Kernel exactly covers the input: one output pixel.
+    let x = dense_tensor(9, 2, 3, 3);
+    let w = random_weights(10, 4, 2, 3);
+    let (direct, gemm) = run_both(&x, &w, Some(&[0.1, 0.2, 0.3, 0.4]), 1, Padding::Valid);
+    assert_eq!((gemm.h(), gemm.w()), (1, 1));
+    assert_close(direct.data(), gemm.data());
+}

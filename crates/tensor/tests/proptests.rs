@@ -26,7 +26,7 @@ proptest! {
         let mut w = Tensor4::zeros(3, 2, kernel, kernel);
         let mut rng = StdRng::seed_from_u64(seed ^ 7);
         w.init_he(&mut rng);
-        let cfg = Conv2dCfg { stride: 1, padding: Padding::Same };
+        let cfg = Conv2dCfg::new(1, Padding::Same);
         let lhs = conv2d(&a.add(&b), &w, None, &cfg);
         let rhs = conv2d(&a, &w, None, &cfg).add(&conv2d(&b, &w, None, &cfg));
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
@@ -96,8 +96,8 @@ proptest! {
         let mut w = Tensor4::zeros(2, 2, 1, 1);
         let mut rng = StdRng::seed_from_u64(seed ^ 3);
         w.init_he(&mut rng);
-        let full = conv2d(&x, &w, None, &Conv2dCfg { stride: 1, padding: Padding::Same });
-        let sub = conv2d(&x, &w, None, &Conv2dCfg { stride, padding: Padding::Same });
+        let full = conv2d(&x, &w, None, &Conv2dCfg::new(1, Padding::Same));
+        let sub = conv2d(&x, &w, None, &Conv2dCfg::new(stride, Padding::Same));
         for c in 0..sub.c() {
             for p in 0..sub.h() {
                 for q in 0..sub.w() {

@@ -9,14 +9,17 @@
 //! observable — and the prober reports them in `alternatives`.
 //!
 //! ```text
-//! cargo run --release --example steal_resnet            # all cores
-//! cargo run --release --example steal_resnet -- -j 1    # serial baseline
+//! cargo run --release --example steal_resnet                 # all cores, GEMM
+//! cargo run --release --example steal_resnet -- -j 1         # serial baseline
+//! cargo run --release --example steal_resnet -- -b direct    # direct conv loop
 //! ```
 //!
-//! The `-j N` flag caps the prober's worker threads; any value produces a
-//! bit-identical result (the executor is deterministic), only wall-clock
-//! changes.
+//! The `-j N` flag caps the prober's worker threads and `-b direct|gemm`
+//! selects the simulator's convolution backend; any combination produces a
+//! bit-identical result (the executor and both backends are deterministic),
+//! only wall-clock changes.
 
+use hd_tensor::ConvBackend;
 use huffduff::prelude::*;
 use huffduff_core::eval::{expected_kinds, score_geometry};
 
@@ -27,6 +30,16 @@ fn parallelism_arg() -> Option<usize> {
         .position(|a| a == "-j" || a == "--parallelism")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Parses `-b direct|gemm` / `--backend direct|gemm` from the command line.
+fn backend_arg() -> ConvBackend {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "-b" || a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| ConvBackend::parse(v).unwrap_or_else(|| panic!("unknown backend {v:?}")))
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -40,15 +53,21 @@ fn main() {
         net.sparse_weight_count(&params)
     );
 
-    let device = Device::new(net.clone(), params, AccelConfig::eyeriss_v2());
+    let backend = backend_arg();
+    let device = Device::new(
+        net.clone(),
+        params,
+        AccelConfig::eyeriss_v2().with_conv_backend(backend),
+    );
 
     let parallelism = parallelism_arg();
     let mut cfg = huffduff_core::AttackConfig::default();
     cfg.prober = cfg.prober.with_parallelism(parallelism);
     println!(
-        "prober workers: {} ({} probe inferences fan out per family)",
+        "prober workers: {} ({} probe inferences fan out per family), conv backend: {}",
         cfg.prober.effective_parallelism(cfg.prober.shifts),
-        cfg.prober.shifts
+        cfg.prober.shifts,
+        backend
     );
 
     let t0 = std::time::Instant::now();

@@ -1,0 +1,86 @@
+//! End-to-end backend invariance: the full HuffDuff attack must recover
+//! exactly the same geometry, channel ratios, and candidate space whether
+//! the victim simulator convolves via the direct kernel or the im2col+GEMM
+//! backend, and whether probes run serially or in parallel. The attack
+//! reads only DRAM traces and encode timings, both of which are functions
+//! of the (bit-identical) layer outputs.
+
+use hd_tensor::ConvBackend;
+use huffduff::prelude::*;
+use huffduff_core::{AttackConfig, AttackOutcome};
+
+fn victim() -> (hd_dnn::graph::Network, hd_dnn::graph::Params) {
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 8, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 16, 3, 1);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 10);
+    let net = b.build();
+    let mut params = hd_dnn::graph::Params::init(&net, 7);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.7 }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 7 ^ 0xF00D);
+    (net, params)
+}
+
+fn attack(backend: ConvBackend, parallelism: Option<usize>) -> AttackOutcome {
+    let (net, params) = victim();
+    let device = Device::new(
+        net,
+        params,
+        AccelConfig::eyeriss_v2().with_conv_backend(backend),
+    );
+    let cfg = AttackConfig {
+        prober: huffduff_core::prober::ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        }
+        .with_parallelism(parallelism),
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    };
+    huffduff_core::run(&device, &cfg).expect("attack succeeds")
+}
+
+#[test]
+fn attack_outcome_is_backend_and_parallelism_invariant() {
+    let baseline = attack(ConvBackend::Direct, Some(1));
+    for (backend, par) in [
+        (ConvBackend::Im2colGemm, Some(1)),
+        (ConvBackend::Direct, Some(4)),
+        (ConvBackend::Im2colGemm, Some(4)),
+        (ConvBackend::Im2colGemm, None),
+    ] {
+        let got = attack(backend, par);
+        assert_eq!(
+            baseline.prober, got.prober,
+            "prober result diverged for {backend} with parallelism {par:?}"
+        );
+        assert_eq!(
+            baseline.ratios, got.ratios,
+            "channel ratios diverged for {backend} with parallelism {par:?}"
+        );
+        assert_eq!(
+            baseline.space.k1_candidates, got.space.k1_candidates,
+            "candidate space diverged for {backend} with parallelism {par:?}"
+        );
+        assert_eq!(
+            baseline.report(),
+            got.report(),
+            "full report diverged for {backend} with parallelism {par:?}"
+        );
+    }
+    // The recovered space must still contain the true first-layer width.
+    assert!(baseline.space.k1_candidates.contains(&8));
+}

@@ -1,0 +1,123 @@
+//! Golden-trace fixture tests: the full DRAM `TraceEvent` stream and the
+//! per-layer encode-timing summary of a tiny seed-pinned victim are pinned
+//! to a checked-in fixture. Any simulator behavior drift — compression
+//! sizing, phase timing, address allocation, or a convolution backend that
+//! perturbs a single output bit — fails tier-1.
+//!
+//! Regenerate deliberately with `GOLDEN_REGEN=1 cargo test --test
+//! golden_trace` and review the fixture diff like source.
+
+use hd_tensor::ConvBackend;
+use huffduff::prelude::*;
+use std::fmt::Write as _;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_trace.txt"
+);
+
+/// Seed-pinned pruned victim: two convs (stride 1 and 2), pool, head.
+fn golden_victim() -> (hd_dnn::graph::Network, hd_dnn::graph::Params) {
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 12, 12);
+    let x = b.input();
+    let x = b.conv(x, 6, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 9, 3, 2);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 4);
+    let net = b.build();
+    let mut params = hd_dnn::graph::Params::init(&net, 20230813);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.7 }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 0x60_1D);
+    (net, params)
+}
+
+/// Probe images covering both compute regimes: a dense image (dense conv
+/// backends run) and a sparse impulse (the shared scatter path runs).
+fn golden_images() -> Vec<(&'static str, Tensor3)> {
+    let mut dense = Tensor3::zeros(3, 12, 12);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+    dense.fill_uniform(&mut rng, 0.05, 1.0);
+    let mut impulse = Tensor3::zeros(3, 12, 12);
+    impulse.set(0, 0, 3, -1.0);
+    impulse.set(1, 6, 6, 1.0);
+    vec![("dense", dense), ("impulse", impulse)]
+}
+
+/// Renders the full observable behavior of the device on the golden victim:
+/// per-image DRAM trace CSV plus the encode-timing table.
+fn snapshot(backend: ConvBackend) -> String {
+    let (net, params) = golden_victim();
+    let device = Device::new(
+        net,
+        params,
+        AccelConfig::eyeriss_v2().with_conv_backend(backend),
+    );
+    let mut s = String::new();
+    for (name, img) in golden_images() {
+        writeln!(s, "== trace {name} ==").unwrap();
+        let mut csv = Vec::new();
+        device.run(&img).to_csv(&mut csv).unwrap();
+        s.push_str(&String::from_utf8(csv).unwrap());
+        writeln!(s, "== encode timings {name} ==").unwrap();
+        writeln!(
+            s,
+            "node,duration_ps,first_write_offset_ps,bound,glb_ps,dram_ps"
+        )
+        .unwrap();
+        for (id, t) in device.encode_timings(&img) {
+            writeln!(
+                s,
+                "{id},{},{},{:?},{},{}",
+                t.duration_ps, t.first_write_offset_ps, t.bound, t.glb_time_ps, t.dram_time_ps
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+#[test]
+fn golden_fixture_reproduced_by_both_backends() {
+    let direct = snapshot(ConvBackend::Direct);
+    let gemm = snapshot(ConvBackend::Im2colGemm);
+    assert_eq!(
+        direct, gemm,
+        "conv backends must produce byte-identical traces and timings"
+    );
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(FIXTURE, &gemm).expect("write fixture");
+        eprintln!("regenerated {FIXTURE}");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; run with GOLDEN_REGEN=1 to create it");
+    assert_eq!(
+        gemm, want,
+        "simulator behavior drifted from the golden fixture; if intentional, \
+         regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_fixture_is_nontrivial() {
+    // Guard against an accidentally-truncated fixture passing vacuously.
+    // Under GOLDEN_REGEN the fixture may not exist yet (tests run in
+    // parallel with the regenerating test), so skip the check.
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; run with GOLDEN_REGEN=1 to create it");
+    assert!(want.lines().count() > 50, "fixture suspiciously small");
+    assert!(want.contains("== trace dense =="));
+    assert!(want.contains("== trace impulse =="));
+    assert!(want.contains("== encode timings dense =="));
+}

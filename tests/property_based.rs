@@ -56,10 +56,7 @@ proptest! {
                     img.set(ch, y, cx, amp * (1.0 + ch as f32));
                 }
             }
-            let mut out = conv2d(&img, &w, Some(&[0.3, -0.2, 0.1, 0.0]), &Conv2dCfg {
-                stride: 1,
-                padding: Padding::Same,
-            });
+            let mut out = conv2d(&img, &w, Some(&[0.3, -0.2, 0.1, 0.0]), &Conv2dCfg::new(1, Padding::Same));
             out.relu_inplace();
             out.nnz()
         };
