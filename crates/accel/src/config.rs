@@ -1,7 +1,7 @@
 //! Accelerator and DRAM configuration.
 
 use crate::defence::Defence;
-use hd_tensor::{CompressionScheme, ConvBackend};
+use hd_tensor::{BackendPolicy, CompressionScheme, ConvBackend};
 use std::fmt;
 
 /// DRAM generation.
@@ -135,6 +135,11 @@ pub struct AccelConfig {
     /// functional execution. Backends are bit-identical, so traces and
     /// timings are backend-invariant; this only changes simulation speed.
     pub conv_backend: ConvBackend,
+    /// Density thresholds steering the host-side kernel dispatch, including
+    /// whether sparse probe images auto-upgrade to the cached
+    /// [`ConvBackend::SparseCsc`] path. Like the backend, it never changes
+    /// traces or timings — only simulation speed.
+    pub backend_policy: BackendPolicy,
 }
 
 impl AccelConfig {
@@ -161,6 +166,7 @@ impl AccelConfig {
             reuse_activations: false,
             separate_batch_norm: false,
             conv_backend: ConvBackend::default(),
+            backend_policy: BackendPolicy::default(),
         }
     }
 
@@ -187,6 +193,7 @@ impl AccelConfig {
             reuse_activations: false,
             separate_batch_norm: false,
             conv_backend: ConvBackend::default(),
+            backend_policy: BackendPolicy::default(),
         }
     }
 
@@ -218,6 +225,12 @@ impl AccelConfig {
     /// Same accelerator with an explicit host-side convolution backend.
     pub fn with_conv_backend(mut self, backend: ConvBackend) -> Self {
         self.conv_backend = backend;
+        self
+    }
+
+    /// Same accelerator with an explicit kernel-dispatch policy.
+    pub fn with_backend_policy(mut self, policy: BackendPolicy) -> Self {
+        self.backend_policy = policy;
         self
     }
 
@@ -292,6 +305,19 @@ mod tests {
         assert!((cfg.glb_bandwidth_bytes_per_sec() - 76.8e9).abs() < 1e6);
         assert_eq!(cfg.acc_bits, 24);
         assert!(matches!(cfg.act_scheme, CompressionScheme::Csc { .. }));
+    }
+
+    #[test]
+    fn presets_default_to_auto_sparse_policy() {
+        for cfg in [AccelConfig::eyeriss_v2(), AccelConfig::scnn_like()] {
+            assert_eq!(cfg.backend_policy, BackendPolicy::default());
+            assert!(cfg.backend_policy.auto_sparse);
+        }
+        let off = AccelConfig::eyeriss_v2().with_backend_policy(BackendPolicy {
+            auto_sparse: false,
+            ..BackendPolicy::default()
+        });
+        assert!(!off.backend_policy.auto_sparse);
     }
 
     #[test]

@@ -11,9 +11,11 @@ use crate::config::AccelConfig;
 use crate::defence::{defence_padding_bytes, Defence, NoiseState};
 use crate::encoder::{encode_timing, EncodeTiming};
 use crate::trace_event::{AccessKind, Trace, TraceEvent};
-use hd_dnn::graph::{Network, NodeId, Op, Params, Value};
-use hd_tensor::Tensor3;
+use hd_dnn::graph::{ForwardTrace, Network, NodeId, Op, Params, Value};
+use hd_dnn::ForwardCache;
+use hd_tensor::{ConvBackend, Tensor3};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Typed failure of a device simulation on a malformed graph.
 ///
@@ -76,6 +78,13 @@ pub struct Device {
     // run (seeded with this plus an image hash) so `run(&self)` is Sync
     // and noise is independent of how concurrent runs interleave.
     noise_seed: u64,
+    // Per-node effective MAC counts, precomputed at construction (weights
+    // are sealed, so these never change between runs).
+    node_macs: Vec<Result<f64, DeviceError>>,
+    // Lazily-built sparse forward state (CSC weights + zero-input baseline),
+    // shared by every run that takes the sparse path. Built at most once per
+    // device; cloning a device before first use clones an empty cell.
+    fwd_cache: OnceLock<ForwardCache>,
 }
 
 /// Ground-truth view handed out by [`Device::oracle`] for evaluation only.
@@ -103,12 +112,45 @@ impl Device {
             Defence::RandomZeros { seed, .. } => seed,
             _ => 0,
         };
+        // Effective MAC counts are a function of the sealed weights only;
+        // computing them per run would rescan every weight tensor (~10 ms
+        // on VGG-S) in the prober hot loop. Errors (malformed raw graphs)
+        // are deferred to `try_run`, which reports them per node.
+        let node_macs = (0..net.len())
+            .map(|id| effective_macs(&net, &params, id))
+            .collect();
         Device {
             net,
             params,
             cfg,
             weight_regions,
             noise_seed,
+            node_macs,
+            fwd_cache: OnceLock::new(),
+        }
+    }
+
+    /// Runs the forward pass with the fastest backend that preserves the
+    /// configured numerics.
+    ///
+    /// The sparse path (cached CSC weights + dirty-column recompute) is
+    /// taken when `SparseCsc` is configured explicitly, or when the policy's
+    /// `auto_sparse` is set and the image is below the input density
+    /// threshold — the stripe-probe regime of the prober hot loop. Every
+    /// backend is bit-identical, so this only changes speed, never the
+    /// trace or the encode timings.
+    fn forward_for(&self, image: &Tensor3) -> ForwardTrace {
+        let policy = self.cfg.backend_policy;
+        let sparse = self.cfg.conv_backend == ConvBackend::SparseCsc
+            || (policy.auto_sparse && policy.input_is_sparse(image.nnz(), image.shape().len()));
+        if sparse {
+            let cache = self
+                .fwd_cache
+                .get_or_init(|| ForwardCache::build(&self.net, &self.params, policy));
+            self.net.forward_cached(&self.params, image, cache)
+        } else {
+            self.net
+                .forward_with_policy(&self.params, image, self.cfg.conv_backend, policy)
         }
     }
 
@@ -159,9 +201,7 @@ impl Device {
     /// Panics if the image shape does not match [`Device::input_shape`].
     pub fn try_run(&self, image: &Tensor3) -> Result<Trace, DeviceError> {
         let noise = self.noise_for(image);
-        let trace = self
-            .net
-            .forward_with(&self.params, image, self.cfg.conv_backend);
+        let trace = self.forward_for(image);
         let mut out = Trace::default();
         let mut t: u64 = 0;
         let dram_bw = self.cfg.dram.bandwidth_bytes_per_sec();
@@ -310,9 +350,7 @@ impl Device {
     /// information from the trace write timestamps.
     pub fn encode_timings(&self, image: &Tensor3) -> Vec<(NodeId, EncodeTiming)> {
         let noise = self.noise_for(image);
-        let trace = self
-            .net
-            .forward_with(&self.params, image, self.cfg.conv_backend);
+        let trace = self.forward_for(image);
         let mut v = Vec::new();
         for (id, node) in self.net.nodes().iter().enumerate() {
             if matches!(node.op, Op::Input | Op::Flatten) {
@@ -353,7 +391,7 @@ impl Device {
             if matches!(node.op, Op::Input | Op::Flatten) {
                 continue;
             }
-            macs += effective_macs(&self.net, &self.params, id)?;
+            macs += self.node_macs[id]?;
             psums += self.net.value_shape(id).len() as f64;
         }
         Ok(crate::energy::estimate_energy(
@@ -390,7 +428,7 @@ impl Device {
     }
 
     fn compute_duration_ps(&self, id: NodeId) -> Result<u64, DeviceError> {
-        let macs = effective_macs(&self.net, &self.params, id)?;
+        let macs = self.node_macs[id]?;
         let cycles = macs / self.cfg.macs_per_cycle.max(1.0);
         Ok((cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64)
     }
@@ -746,19 +784,62 @@ mod tests {
         b.global_avg_pool(x);
         let net = b.build();
         let params = Params::init(&net, 42);
-        let direct = Device::new(
-            net.clone(),
-            params.clone(),
-            AccelConfig::eyeriss_v2().with_conv_backend(hd_tensor::ConvBackend::Direct),
-        );
-        let gemm = Device::new(
+        let mk = |backend| {
+            Device::new(
+                net.clone(),
+                params.clone(),
+                AccelConfig::eyeriss_v2().with_conv_backend(backend),
+            )
+        };
+        let direct = mk(hd_tensor::ConvBackend::Direct);
+        let gemm = mk(hd_tensor::ConvBackend::Im2colGemm);
+        let sparse = mk(hd_tensor::ConvBackend::SparseCsc);
+        let dense_img = Tensor3::full(2, 8, 8, 0.5); // exercises both dense backends
+        let mut stripe = Tensor3::zeros(2, 8, 8); // stripe probe: the sparse regime
+        for y in 0..8 {
+            stripe.set(0, y, 3, 1.0);
+            stripe.set(1, y, 3, -1.0);
+        }
+        for img in [&dense_img, &stripe] {
+            assert_eq!(direct.run(img), gemm.run(img));
+            assert_eq!(direct.run(img), sparse.run(img));
+            assert_eq!(direct.encode_timings(img), gemm.encode_timings(img));
+            assert_eq!(direct.encode_timings(img), sparse.encode_timings(img));
+        }
+    }
+
+    #[test]
+    fn auto_sparse_path_matches_explicit_backends() {
+        // With the default policy a sparse image routes the *default* device
+        // through the cached-CSC path; a device with auto_sparse disabled
+        // must produce the identical trace and timings.
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.conv(x, 6, 3, 1);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 5);
+        let net = b.build();
+        let params = Params::init(&net, 9);
+        let auto = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
+        let dense_only = Device::new(
             net,
             params,
-            AccelConfig::eyeriss_v2().with_conv_backend(hd_tensor::ConvBackend::Im2colGemm),
+            AccelConfig::eyeriss_v2().with_backend_policy(hd_tensor::BackendPolicy {
+                auto_sparse: false,
+                ..Default::default()
+            }),
         );
-        let img = Tensor3::full(2, 8, 8, 0.5); // dense: exercises both dense backends
-        assert_eq!(direct.run(&img), gemm.run(&img));
-        assert_eq!(direct.encode_timings(&img), gemm.encode_timings(&img));
+        let mut stripe = Tensor3::zeros(2, 8, 8);
+        for y in 0..8 {
+            stripe.set(0, y, 5, 1.0);
+        }
+        assert_eq!(auto.run(&stripe), dense_only.run(&stripe));
+        assert_eq!(
+            auto.encode_timings(&stripe),
+            dense_only.encode_timings(&stripe)
+        );
     }
 
     // Regression tests for the panics that `DeviceError` replaced: graphs

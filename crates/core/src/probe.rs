@@ -52,17 +52,25 @@ pub fn stripe_probes(shape: Shape3, shifts: usize, count: usize, seed: u64) -> V
                     }
                 })
                 .collect();
-            let images = (0..shifts)
-                .map(|t| {
-                    let mut img = Tensor3::zeros(shape.c, shape.h, shape.w);
-                    for c in 0..shape.c {
-                        for y in 0..shape.h {
-                            img.set(c, y, t, amplitudes[c * shape.h + y]);
+            // One scratch buffer per family: move the stripe column by
+            // column and clone each snapshot, instead of zero-filling a
+            // fresh `c*h*w` image per shift. Adjacent shifts differ in only
+            // `2*c*h` writes, so building a family is O(shifts * c * h *
+            // w) in clones alone (unavoidable: the snapshots are owned)
+            // rather than O(shifts * c * h * w) zero-fills *plus* writes.
+            let mut scratch = Tensor3::zeros(shape.c, shape.h, shape.w);
+            let mut images = Vec::with_capacity(shifts);
+            for t in 0..shifts {
+                for c in 0..shape.c {
+                    for y in 0..shape.h {
+                        if t > 0 {
+                            scratch.set(c, y, t - 1, 0.0);
                         }
+                        scratch.set(c, y, t, amplitudes[c * shape.h + y]);
                     }
-                    img
-                })
-                .collect();
+                }
+                images.push(scratch.clone());
+            }
             ProbeFamily { images, amplitudes }
         })
         .collect()
@@ -119,5 +127,25 @@ mod tests {
     #[should_panic(expected = "cannot sweep")]
     fn too_many_shifts_panics() {
         let _ = stripe_probes(Shape3::new(1, 4, 4), 5, 1, 0);
+    }
+
+    /// The shared-scratch construction must produce exactly the images the
+    /// naive per-shift build would: a fresh zero tensor with the stripe at
+    /// column `t`, nothing left over from earlier shifts.
+    #[test]
+    fn scratch_reuse_matches_fresh_per_shift_build() {
+        let shape = Shape3::new(3, 5, 9);
+        let fams = stripe_probes(shape, shape.w, 3, 21);
+        for fam in &fams {
+            for (t, img) in fam.images.iter().enumerate() {
+                let mut fresh = Tensor3::zeros(shape.c, shape.h, shape.w);
+                for c in 0..shape.c {
+                    for y in 0..shape.h {
+                        fresh.set(c, y, t, fam.amplitudes[c * shape.h + y]);
+                    }
+                }
+                assert_eq!(img, &fresh, "shift {t}");
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! explicit and queryable, so experiments can compare recovered vs. actual
 //! geometry directly.
 
-use hd_tensor::conv::{conv2d, conv_out_dim, Conv2dCfg, ConvBackend, Padding};
+use hd_tensor::conv::{conv2d, conv_out_dim, BackendPolicy, Conv2dCfg, ConvBackend, Padding};
 use hd_tensor::dwconv::dwconv2d;
 use hd_tensor::norm::Affine;
 use hd_tensor::pool::{global_avg_pool, pool2d, PoolKind};
@@ -312,8 +312,9 @@ impl Network {
 
     /// Runs the network with an explicit convolution backend.
     ///
-    /// Backends are bit-identical (see `hd_tensor::gemm`), so this only
-    /// changes wall-clock time, never the trace contents.
+    /// Backends are bit-identical (see `hd_tensor::gemm` and
+    /// `hd_tensor::csc_conv`), so this only changes wall-clock time, never
+    /// the trace contents.
     ///
     /// # Panics
     ///
@@ -323,6 +324,25 @@ impl Network {
         params: &Params,
         input: &Tensor3,
         backend: ConvBackend,
+    ) -> ForwardTrace {
+        self.forward_with_policy(params, input, backend, BackendPolicy::default())
+    }
+
+    /// [`Network::forward_with`] with an explicit kernel-dispatch policy.
+    ///
+    /// The policy moves work between bit-identical kernels (CSC scatter vs
+    /// dense backends), so like the backend choice it never changes the
+    /// trace contents.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::forward`].
+    pub fn forward_with_policy(
+        &self,
+        params: &Params,
+        input: &Tensor3,
+        backend: ConvBackend,
+        policy: BackendPolicy,
     ) -> ForwardTrace {
         assert_eq!(
             input.shape(),
@@ -342,7 +362,9 @@ impl Network {
                 Op::Conv(spec) => {
                     let x = traces[node.inputs[0]].out.map();
                     let lp = params.conv(id);
-                    let cfg = Conv2dCfg::new(spec.stride, spec.padding).with_backend(backend);
+                    let cfg = Conv2dCfg::new(spec.stride, spec.padding)
+                        .with_backend(backend)
+                        .with_policy(policy);
                     let conv_out = conv2d(x, lp.w, lp.b.as_deref(), &cfg);
                     let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
                         (Some(conv_out.clone()), bn.apply(&conv_out))
@@ -370,7 +392,9 @@ impl Network {
                 } => {
                     let x = traces[node.inputs[0]].out.map();
                     let lp = params.dwconv(id);
-                    let cfg = Conv2dCfg::new(*stride, Padding::Same).with_backend(backend);
+                    let cfg = Conv2dCfg::new(*stride, Padding::Same)
+                        .with_backend(backend)
+                        .with_policy(policy);
                     let conv_out = dwconv2d(x, lp.w, &cfg);
                     let (pre_bn, bn_out) = if let Some(bn) = &lp.bn {
                         (Some(conv_out.clone()), bn.apply(&conv_out))

@@ -37,7 +37,9 @@ pub mod data;
 pub mod graph;
 pub mod io;
 pub mod prune;
+pub mod sparse_forward;
 pub mod train;
 pub mod zoo;
 
 pub use graph::{ConvSpec, Network, NetworkBuilder, NodeId, Op, Params};
+pub use sparse_forward::ForwardCache;

@@ -1,0 +1,247 @@
+//! Nonzero-column interval tracking for stripe-probe inference.
+//!
+//! Every HuffDuff probe image is a vertical stripe: exactly one nonzero
+//! column. After `L` conv/pool layers the stripe's receptive field is still a
+//! narrow contiguous band of columns, so a forward pass that knows the band
+//! can skip the (unchanged) rest of each activation map. [`ColSpan`] is the
+//! half-open column interval `[lo, hi)` that carries that knowledge through
+//! the network:
+//!
+//! * [`ColSpan::conv`] widens the interval by the kernel footprint (the exact
+//!   set of output columns whose input window intersects the interval),
+//! * [`ColSpan::pool`] divides it by the pooling factor,
+//! * [`ColSpan::union`] merges the intervals of residual-add operands,
+//! * element-wise ops (ReLU, batch-norm, bias) keep the interval unchanged —
+//!   the interval tracks where the activation may *differ from the
+//!   zero-input baseline*, and column-local element-wise ops map equal
+//!   inputs to equal outputs.
+//!
+//! The interval is conservative (a superset of the truly-dirty columns), so
+//! consumers may recompute more than strictly necessary but never less.
+
+use crate::Tensor3;
+
+/// Half-open interval `[lo, hi)` of activation-map columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ColSpan {
+    lo: usize,
+    hi: usize,
+}
+
+impl ColSpan {
+    /// The empty interval.
+    pub fn empty() -> Self {
+        ColSpan { lo: 0, hi: 0 }
+    }
+
+    /// Interval `[lo, hi)`; collapses to [`ColSpan::empty`] when `lo >= hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        if lo >= hi {
+            ColSpan::empty()
+        } else {
+            ColSpan { lo, hi }
+        }
+    }
+
+    /// The full width of a `w`-column map.
+    pub fn full(w: usize) -> Self {
+        ColSpan::new(0, w)
+    }
+
+    /// Tight interval covering every column of `t` holding a nonzero value.
+    ///
+    /// Uses the exact `!= 0.0` test of the conv kernels (not the transfer
+    /// codecs' epsilon), so a column carrying only denormals still counts —
+    /// anything the kernels would multiply by must stay inside the span.
+    pub fn of_tensor(t: &Tensor3) -> Self {
+        let (h, w) = (t.h(), t.w());
+        if w == 0 {
+            return ColSpan::empty();
+        }
+        let mut lo = w;
+        let mut hi = 0;
+        for row in t.data().chunks_exact(w) {
+            if let Some((first, last)) = crate::sparse::nonzero_bounds(row) {
+                lo = lo.min(first);
+                hi = hi.max(last + 1);
+            }
+        }
+        let _ = h;
+        ColSpan::new(lo, hi)
+    }
+
+    /// Whether no column is covered.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// First covered column (meaningless when empty).
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// One past the last covered column.
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Number of covered columns.
+    pub fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether `col` lies inside the interval.
+    pub fn contains(&self, col: usize) -> bool {
+        self.lo <= col && col < self.hi
+    }
+
+    /// Smallest interval covering both operands (for residual adds).
+    pub fn union(self, other: ColSpan) -> ColSpan {
+        match (self.is_empty(), other.is_empty()) {
+            (true, _) => other,
+            (_, true) => self,
+            _ => ColSpan::new(self.lo.min(other.lo), self.hi.max(other.hi)),
+        }
+    }
+
+    /// Clamps the interval to a `w`-column map.
+    pub fn clamp(self, w: usize) -> ColSpan {
+        ColSpan::new(self.lo.min(w), self.hi.min(w))
+    }
+
+    /// Output columns of a convolution whose input window touches `self`.
+    ///
+    /// A kernel with `s_taps` horizontal taps, stride `stride` and left
+    /// padding `pad_x` reads input columns `q*stride - pad_x ..=
+    /// q*stride - pad_x + s_taps - 1` for output column `q`; the result is
+    /// exactly the `q` range (clamped to `out_w`) for which that window
+    /// intersects `[lo, hi)`.
+    pub fn conv(self, s_taps: usize, stride: usize, pad_x: usize, out_w: usize) -> ColSpan {
+        assert!(stride > 0, "stride must be positive");
+        assert!(s_taps > 0, "kernel must have at least one tap");
+        if self.is_empty() || out_w == 0 {
+            return ColSpan::empty();
+        }
+        // q*stride - pad_x <= hi-1  and  q*stride - pad_x + s_taps - 1 >= lo.
+        let q_lo = {
+            let num = self.lo as isize + pad_x as isize - (s_taps as isize - 1);
+            if num <= 0 {
+                0
+            } else {
+                (num as usize).div_ceil(stride)
+            }
+        };
+        let q_hi = (self.hi - 1 + pad_x) / stride + 1;
+        ColSpan::new(q_lo, q_hi).clamp(out_w)
+    }
+
+    /// Output columns of a non-overlapping `factor`-pool touching `self`.
+    pub fn pool(self, factor: usize, out_w: usize) -> ColSpan {
+        assert!(factor > 0, "pool factor must be positive");
+        if self.is_empty() {
+            return ColSpan::empty();
+        }
+        ColSpan::new(self.lo / factor, (self.hi - 1) / factor + 1).clamp(out_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_tensor_finds_tight_bounds() {
+        let mut t = Tensor3::zeros(2, 4, 9);
+        t.set(0, 1, 3, 1.0);
+        t.set(1, 3, 6, -2.0);
+        let s = ColSpan::of_tensor(&t);
+        assert_eq!((s.lo(), s.hi()), (3, 7));
+        assert_eq!(s.width(), 4);
+    }
+
+    #[test]
+    fn of_tensor_zero_map_is_empty() {
+        assert!(ColSpan::of_tensor(&Tensor3::zeros(3, 5, 5)).is_empty());
+        assert!(ColSpan::of_tensor(&Tensor3::zeros(1, 2, 0)).is_empty());
+    }
+
+    #[test]
+    fn conv_same_padding_widens_by_kernel_radius() {
+        // 3-tap kernel, stride 1, pad 1: column 5 reaches outputs 4..=6.
+        let s = ColSpan::new(5, 6).conv(3, 1, 1, 12);
+        assert_eq!((s.lo(), s.hi()), (4, 7));
+    }
+
+    #[test]
+    fn conv_valid_padding_shifts_left() {
+        // 3-tap kernel, no padding: column 5 reaches outputs 3..=5.
+        let s = ColSpan::new(5, 6).conv(3, 1, 0, 10);
+        assert_eq!((s.lo(), s.hi()), (3, 6));
+    }
+
+    #[test]
+    fn conv_stride_two_downsamples() {
+        // W=12, S=3, stride 2, same pad 0: x=5 is read only by q=2.
+        let s = ColSpan::new(5, 6).conv(3, 2, 0, 6);
+        assert_eq!((s.lo(), s.hi()), (2, 3));
+    }
+
+    #[test]
+    fn conv_clamps_to_output_width() {
+        let s = ColSpan::new(0, 12).conv(5, 1, 2, 12);
+        assert_eq!((s.lo(), s.hi()), (0, 12));
+        let left_edge = ColSpan::new(0, 1).conv(5, 1, 2, 12);
+        assert_eq!((left_edge.lo(), left_edge.hi()), (0, 3));
+    }
+
+    #[test]
+    fn conv_matches_bruteforce_enumeration() {
+        // Exhaustively check the interval against the kernels' own window
+        // arithmetic over small shapes, strides, and paddings.
+        for w in 1..10usize {
+            for s_taps in 1..5usize {
+                for stride in 1..4usize {
+                    for pad in 0..s_taps {
+                        let out_w = (w + pad).div_ceil(stride).max(1);
+                        for lo in 0..w {
+                            for hi in lo + 1..=w {
+                                let span = ColSpan::new(lo, hi).conv(s_taps, stride, pad, out_w);
+                                for q in 0..out_w {
+                                    let touches = (0..s_taps).any(|t| {
+                                        let x = q as isize * stride as isize + t as isize
+                                            - pad as isize;
+                                        x >= 0 && (x as usize) >= lo && (x as usize) < hi
+                                    });
+                                    assert_eq!(
+                                        span.contains(q),
+                                        touches,
+                                        "w={w} S={s_taps} stride={stride} pad={pad} \
+                                         [{lo},{hi}) q={q}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_divides_and_drops_partial_tail() {
+        let s = ColSpan::new(4, 7).pool(2, 3);
+        assert_eq!((s.lo(), s.hi()), (2, 3)); // column 6 is in the dropped tail for out_w=3
+        let s = ColSpan::new(5, 6).pool(2, 8);
+        assert_eq!((s.lo(), s.hi()), (2, 3));
+    }
+
+    #[test]
+    fn union_and_empty_identities() {
+        let a = ColSpan::new(2, 4);
+        let b = ColSpan::new(7, 9);
+        assert_eq!(a.union(b), ColSpan::new(2, 9));
+        assert_eq!(a.union(ColSpan::empty()), a);
+        assert_eq!(ColSpan::empty().union(b), b);
+        assert!(ColSpan::new(3, 3).is_empty());
+    }
+}

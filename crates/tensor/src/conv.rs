@@ -16,12 +16,12 @@ pub enum Padding {
     Valid,
 }
 
-/// Dense-compute backend used by [`conv2d`] once the shared sparse-input
-/// scatter fast path has declined the inference.
+/// Compute backend used by [`conv2d`] once the shared sparse-input CSC fast
+/// path has declined the inference.
 ///
-/// Both backends are bit-identical (see the accumulation-order contract in
-/// [`crate::gemm`]), so traces and timings derived from the outputs do not
-/// depend on this choice.
+/// All backends are bit-identical (see the accumulation-order contracts in
+/// [`crate::gemm`] and [`crate::csc_conv`]), so traces and timings derived
+/// from the outputs do not depend on this choice.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ConvBackend {
     /// Naive zero-skipping loop nest (the original reference kernel).
@@ -29,14 +29,19 @@ pub enum ConvBackend {
     /// im2col lowering + cache-blocked GEMM ([`crate::im2col`]).
     #[default]
     Im2colGemm,
+    /// Input-stationary sparse × sparse scatter over CSC-compacted weights
+    /// ([`crate::csc_conv`]); devices additionally cache the weight
+    /// compaction and track nonzero-column intervals across layers.
+    SparseCsc,
 }
 
 impl ConvBackend {
-    /// Parses a CLI-style backend name (`direct` / `gemm`).
+    /// Parses a CLI-style backend name (`direct` / `gemm` / `sparse`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "direct" => Some(ConvBackend::Direct),
             "gemm" | "im2col" | "im2col-gemm" => Some(ConvBackend::Im2colGemm),
+            "sparse" | "csc" | "sparse-csc" => Some(ConvBackend::SparseCsc),
             _ => None,
         }
     }
@@ -47,7 +52,52 @@ impl std::fmt::Display for ConvBackend {
         f.write_str(match self {
             ConvBackend::Direct => "direct",
             ConvBackend::Im2colGemm => "gemm",
+            ConvBackend::SparseCsc => "sparse",
         })
+    }
+}
+
+/// Density thresholds steering [`conv2d`]'s kernel dispatch.
+///
+/// Thresholds are expressed in permille (tenths of a percent) rather than
+/// `f32` so the policy — and [`Conv2dCfg`] embedding it — stays `Eq + Hash`.
+/// The defaults reproduce the historical dispatch exactly: 125‰ = 12.5%,
+/// and `nnz * 1000 < len * 125` reduces to the old `nnz * 8 < len` test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BackendPolicy {
+    /// Input nnz-density (permille) below which every backend takes the
+    /// input-stationary CSC scatter path (probe images, deep post-ReLU maps).
+    pub input_density_threshold: u16,
+    /// Weight nnz-density (permille) below which the dense backends switch
+    /// to the compacted-tap kernel (heavily pruned victim layers).
+    pub weight_density_threshold: u16,
+    /// Whether a device may auto-upgrade sparse-input inferences to
+    /// [`ConvBackend::SparseCsc`] (cached weight compaction + colspan
+    /// interval tracking across layers).
+    pub auto_sparse: bool,
+}
+
+impl Default for BackendPolicy {
+    fn default() -> Self {
+        BackendPolicy {
+            input_density_threshold: 125,
+            weight_density_threshold: 125,
+            auto_sparse: true,
+        }
+    }
+}
+
+impl BackendPolicy {
+    /// Whether an input map with `nnz` nonzeros out of `len` is sparse
+    /// enough for the CSC scatter path.
+    pub fn input_is_sparse(&self, nnz: usize, len: usize) -> bool {
+        (nnz as u64) * 1000 < (len as u64) * self.input_density_threshold as u64
+    }
+
+    /// Whether a weight tensor with `nnz` nonzeros out of `len` is sparse
+    /// enough for the compacted-tap kernel.
+    pub fn weight_is_sparse(&self, nnz: usize, len: usize) -> bool {
+        (nnz as u64) * 1000 < (len as u64) * self.weight_density_threshold as u64
     }
 }
 
@@ -58,23 +108,32 @@ pub struct Conv2dCfg {
     pub stride: usize,
     /// Padding mode.
     pub padding: Padding,
-    /// Dense-compute backend (does not affect results, only speed).
+    /// Compute backend (does not affect results, only speed).
     pub backend: ConvBackend,
+    /// Density thresholds for the sparsity-aware dispatch.
+    pub policy: BackendPolicy,
 }
 
 impl Conv2dCfg {
-    /// Config with the default backend.
+    /// Config with the default backend and dispatch policy.
     pub fn new(stride: usize, padding: Padding) -> Self {
         Conv2dCfg {
             stride,
             padding,
             backend: ConvBackend::default(),
+            policy: BackendPolicy::default(),
         }
     }
 
     /// Returns the config with `backend` selected.
     pub fn with_backend(mut self, backend: ConvBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Returns the config with `policy` as its dispatch policy.
+    pub fn with_policy(mut self, policy: BackendPolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -148,19 +207,22 @@ pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Con
 
     // Probe images and post-ReLU activations of pruned networks are mostly
     // zero; scattering from the non-zero inputs is then far cheaper than
-    // either dense backend. Shared by both backends so the choice below
-    // cannot regress sparse probe inferences.
+    // either dense backend. Shared by all backends so the choice below
+    // cannot regress sparse probe inferences. The SparseCsc backend takes
+    // this kernel unconditionally — that is what it is.
     let nnz = input.nnz();
-    if nnz * 8 < input.shape().len() {
-        return conv2d_scatter(input, weight, bias, cfg, nnz);
+    if cfg.backend == ConvBackend::SparseCsc || cfg.policy.input_is_sparse(nnz, input.shape().len())
+    {
+        return crate::csc_conv::conv2d_sparse_csc(input, weight, bias, cfg);
     }
 
     // Extremely pruned weights (paper victims sit near 99% sparsity):
     // iterating only the surviving taps costs `out_pixels x nnz(W)`, which
     // beats even the blocked GEMM (whose cost stays near-dense once most
-    // tap positions are live in *some* filter). Shared by both backends.
+    // tap positions are live in *some* filter). Shared by both dense
+    // backends.
     let weight_nnz = weight.nnz();
-    if weight_nnz * 8 < weight.len() {
+    if cfg.policy.weight_is_sparse(weight_nnz, weight.len()) {
         return conv2d_sparse_weights(input, weight, bias, cfg);
     }
 
@@ -174,6 +236,18 @@ pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Con
         return conv2d_sparse_weights(input, weight, bias, cfg);
     }
 
+    conv2d_reference(input, weight, bias, cfg)
+}
+
+/// The reference dense loop nest, with no dispatch: always computes
+/// `out[k, p, q] = bias[k] + sum taps in ascending (c, r, s) order`. Every
+/// other kernel in the crate is tested bit-identical against this one.
+pub fn conv2d_reference(
+    input: &Tensor3,
+    weight: &Tensor4,
+    bias: Option<&[f32]>,
+    cfg: &Conv2dCfg,
+) -> Tensor3 {
     let out_h = conv_out_dim(input.h(), weight.r(), cfg.stride, cfg.padding);
     let out_w = conv_out_dim(input.w(), weight.s(), cfg.stride, cfg.padding);
     let (pad_y, pad_x) = match cfg.padding {
@@ -278,83 +352,6 @@ fn conv2d_sparse_weights(
     out
 }
 
-/// Input-stationary convolution: iterates over non-zero input pixels and
-/// scatters their contributions. Numerically equivalent to the direct loop
-/// up to floating-point summation order.
-fn conv2d_scatter(
-    input: &Tensor3,
-    weight: &Tensor4,
-    bias: Option<&[f32]>,
-    cfg: &Conv2dCfg,
-    _nnz_hint: usize,
-) -> Tensor3 {
-    let out_h = conv_out_dim(input.h(), weight.r(), cfg.stride, cfg.padding);
-    let out_w = conv_out_dim(input.w(), weight.s(), cfg.stride, cfg.padding);
-    let (pad_y, pad_x) = match cfg.padding {
-        Padding::Same => (
-            same_pad(input.h(), weight.r(), cfg.stride),
-            same_pad(input.w(), weight.s(), cfg.stride),
-        ),
-        Padding::Valid => (0, 0),
-    };
-
-    let mut out = Tensor3::zeros(weight.k(), out_h, out_w);
-    if out_h == 0 || out_w == 0 {
-        return out;
-    }
-    for c in 0..input.c() {
-        for y in 0..input.h() {
-            for x in 0..input.w() {
-                let xv = input.at(c, y, x);
-                if xv == 0.0 {
-                    continue;
-                }
-                // Output positions (p, q) with p*stride + r - pad_y == y.
-                for r in 0..weight.r() {
-                    let py = y as isize + pad_y as isize - r as isize;
-                    if py < 0 || py % cfg.stride as isize != 0 {
-                        continue;
-                    }
-                    let p = (py / cfg.stride as isize) as usize;
-                    if p >= out_h {
-                        continue;
-                    }
-                    for s in 0..weight.s() {
-                        let qx = x as isize + pad_x as isize - s as isize;
-                        if qx < 0 || qx % cfg.stride as isize != 0 {
-                            continue;
-                        }
-                        let q = (qx / cfg.stride as isize) as usize;
-                        if q >= out_w {
-                            continue;
-                        }
-                        for k in 0..weight.k() {
-                            let wv = weight.at(k, c, r, s);
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            let idx = out.shape().index(k, p, q);
-                            out.data_mut()[idx] += wv * xv;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    if let Some(b) = bias {
-        let plane = out_h * out_w;
-        #[allow(clippy::needless_range_loop)] // index-parallel numeric kernel
-        for k in 0..weight.k() {
-            if b[k] != 0.0 {
-                for v in &mut out.data_mut()[k * plane..(k + 1) * plane] {
-                    *v += b[k];
-                }
-            }
-        }
-    }
-    out
-}
-
 /// Gradient of a convolution with respect to its input (a.k.a. transposed
 /// convolution of the upstream gradient with the flipped kernel). Used by the
 /// training engine and by FGSM/BIM input-gradient computation.
@@ -415,7 +412,7 @@ pub fn conv2d_weight_grad(
     kernel: (usize, usize),
     cfg: &Conv2dCfg,
 ) -> Tensor4 {
-    if cfg.backend == ConvBackend::Im2colGemm {
+    if cfg.backend != ConvBackend::Direct {
         return crate::im2col::conv2d_weight_grad_gemm(grad_out, input, kernel, cfg);
     }
     let (kr, ks) = kernel;
@@ -658,7 +655,7 @@ mod tests {
     }
 
     #[test]
-    fn scatter_matches_direct_on_sparse_input() {
+    fn csc_path_matches_reference_on_sparse_input() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(77);
@@ -670,28 +667,57 @@ mod tests {
             (1, Padding::Valid),
             (2, Padding::Valid),
         ] {
-            // Sparse input triggers the scatter path...
+            // Sparse input triggers the CSC scatter path inside conv2d...
             let mut sparse = Tensor3::zeros(3, 9, 9);
             sparse.set(0, 4, 0, 1.5);
             sparse.set(1, 0, 8, -2.0);
             sparse.set(2, 8, 4, 0.5);
             let c = cfg(stride, padding);
             let fast = conv2d(&sparse, &w, Some(&[0.1, 0.2, 0.3, 0.4]), &c);
-            // ...and a manually-invoked scatter on dense input must agree
-            // with the direct loop bit-for-bit per element (within fp noise).
+            let reference = conv2d_reference(&sparse, &w, Some(&[0.1, 0.2, 0.3, 0.4]), &c);
+            // ...and must agree with the reference loop bit-for-bit.
+            assert_eq!(fast.shape(), reference.shape());
+            assert_eq!(fast.data(), reference.data());
+            // A dense input through the explicit CSC entry point must too.
             let mut dense = sparse.clone();
             for (i, v) in dense.data_mut().iter_mut().enumerate() {
                 *v += (i % 7) as f32 * 0.25; // make it dense
             }
-            let direct = conv2d(&dense, &w, None, &c);
-            let scattered = conv2d_scatter(&dense, &w, None, &c, dense.nnz());
-            assert_eq!(direct.shape(), scattered.shape());
-            for (a, b) in direct.data().iter().zip(scattered.data()) {
-                assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
-            }
-            // Sanity: the sparse result has the expected shape.
-            assert_eq!(fast.c(), 4);
+            let scattered = crate::csc_conv::conv2d_sparse_csc(&dense, &w, None, &c);
+            assert_eq!(
+                conv2d_reference(&dense, &w, None, &c).data(),
+                scattered.data()
+            );
         }
+    }
+
+    #[test]
+    fn backend_policy_defaults_reproduce_historical_dispatch() {
+        // 125‰ == 12.5%: exactly the old `nnz * 8 < len` routing tests.
+        let p = BackendPolicy::default();
+        assert_eq!(p.input_density_threshold, 125);
+        assert_eq!(p.weight_density_threshold, 125);
+        assert!(p.auto_sparse);
+        for len in [1usize, 7, 8, 64, 1000, 12 * 12 * 3] {
+            for nnz in 0..=len {
+                assert_eq!(p.input_is_sparse(nnz, len), nnz * 8 < len, "{nnz}/{len}");
+                assert_eq!(p.weight_is_sparse(nnz, len), nnz * 8 < len, "{nnz}/{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_parse_and_display_roundtrip() {
+        for (name, backend) in [
+            ("direct", ConvBackend::Direct),
+            ("gemm", ConvBackend::Im2colGemm),
+            ("sparse", ConvBackend::SparseCsc),
+        ] {
+            assert_eq!(ConvBackend::parse(name), Some(backend));
+            assert_eq!(backend.to_string(), name);
+        }
+        assert_eq!(ConvBackend::parse("csc"), Some(ConvBackend::SparseCsc));
+        assert_eq!(ConvBackend::parse("nope"), None);
     }
 
     #[test]

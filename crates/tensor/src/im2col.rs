@@ -305,11 +305,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(stride: usize, padding: Padding, backend: ConvBackend) -> Conv2dCfg {
-        Conv2dCfg {
-            stride,
-            padding,
-            backend,
-        }
+        Conv2dCfg::new(stride, padding).with_backend(backend)
     }
 
     fn dense_input(seed: u64, c: usize, h: usize, w: usize) -> Tensor3 {

@@ -26,7 +26,9 @@
 //! assert_eq!((out.c(), out.h(), out.w()), (16, 8, 8));
 //! ```
 
+pub mod colspan;
 pub mod conv;
+pub mod csc_conv;
 pub mod dwconv;
 pub mod gemm;
 pub mod huffman;
@@ -37,7 +39,9 @@ pub mod shape;
 pub mod sparse;
 pub mod tensor;
 
-pub use conv::ConvBackend;
+pub use colspan::ColSpan;
+pub use conv::{BackendPolicy, ConvBackend};
+pub use csc_conv::CscWeights;
 pub use shape::Shape3;
 pub use sparse::{CompressionScheme, EncodedSize};
 pub use tensor::{Tensor3, Tensor4};

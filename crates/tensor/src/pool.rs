@@ -1,5 +1,6 @@
 //! Pooling kernels (max / average) and their gradients.
 
+use crate::colspan::ColSpan;
 use crate::Tensor3;
 
 /// Pooling flavour.
@@ -41,6 +42,58 @@ pub fn pool2d(input: &Tensor3, factor: usize, kind: PoolKind) -> Tensor3 {
     for c in 0..input.c() {
         for p in 0..out_h {
             for q in 0..out_w {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0;
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        let v = input.at(c, p * factor + dy, q * factor + dx);
+                        best = best.max(v);
+                        sum += v;
+                    }
+                }
+                let v = match kind {
+                    PoolKind::Max => best,
+                    PoolKind::Avg => sum / (factor * factor) as f32,
+                };
+                out.set(c, p, q, v);
+            }
+        }
+    }
+    out
+}
+
+/// [`pool2d`] restricted to the output columns in `span`: the rest are
+/// copied from `baseline` (the pool of a reference input agreeing with
+/// `input` outside `span`'s pre-image). Recomputed elements run the exact
+/// per-window loop of [`pool2d`], so the result is bit-identical to pooling
+/// the full map.
+///
+/// # Panics
+///
+/// Panics if `factor == 0` or `baseline` does not have the pooled shape.
+pub fn pool2d_cols(
+    input: &Tensor3,
+    factor: usize,
+    kind: PoolKind,
+    span: ColSpan,
+    baseline: &Tensor3,
+) -> Tensor3 {
+    assert!(factor > 0, "pool factor must be positive");
+    if factor == 1 {
+        return input.clone();
+    }
+    let out_h = input.h() / factor;
+    let out_w = input.w() / factor;
+    assert_eq!(
+        (baseline.c(), baseline.h(), baseline.w()),
+        (input.c(), out_h, out_w),
+        "baseline shape must match the pooled output"
+    );
+    let mut out = baseline.clone();
+    let span = span.clamp(out_w);
+    for c in 0..input.c() {
+        for p in 0..out_h {
+            for q in span.lo()..span.hi() {
                 let mut best = f32::NEG_INFINITY;
                 let mut sum = 0.0;
                 for dy in 0..factor {
@@ -167,6 +220,23 @@ mod tests {
     fn global_avg() {
         let x = Tensor3::from_vec(2, 1, 2, vec![1.0, 3.0, 10.0, 30.0]);
         assert_eq!(global_avg_pool(&x), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn pool2d_cols_patches_only_span() {
+        let x = Tensor3::from_vec(1, 2, 6, (1..=12).map(|v| v as f32).collect());
+        let base_in = Tensor3::zeros(1, 2, 6);
+        for kind in [PoolKind::Max, PoolKind::Avg] {
+            let baseline = pool2d(&base_in, 2, kind);
+            // Patch all columns: must equal the full pool bit-for-bit.
+            let full = pool2d_cols(&x, 2, kind, ColSpan::full(3), &baseline);
+            assert_eq!(full.data(), pool2d(&x, 2, kind).data());
+            // Patch one column: the others keep the baseline value.
+            let partial = pool2d_cols(&x, 2, kind, ColSpan::new(1, 2), &baseline);
+            assert_eq!(partial.at(0, 0, 1), pool2d(&x, 2, kind).at(0, 0, 1));
+            assert_eq!(partial.at(0, 0, 0), baseline.at(0, 0, 0));
+            assert_eq!(partial.at(0, 0, 2), baseline.at(0, 0, 2));
+        }
     }
 
     #[test]

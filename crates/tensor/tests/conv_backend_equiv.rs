@@ -1,10 +1,16 @@
-//! Differential tests between the `Direct` and `Im2colGemm` convolution
-//! backends: random shapes, strides, paddings, bias on/off, and pruned
-//! weights, plus the edge cases that historically break im2col
+//! Differential tests between the `Direct`, `Im2colGemm`, and `SparseCsc`
+//! convolution backends: random shapes, strides, paddings, bias on/off, and
+//! pruned weights, plus the edge cases that historically break im2col
 //! implementations (1x1 kernels, stride > kernel, inputs smaller than the
 //! kernel, zero-dimensional `Valid` outputs).
+//!
+//! `SparseCsc` replays Direct's tap order exactly, so it is held to the
+//! stronger standard: bit-identical to `Direct` on *every* case here, not
+//! just the integer-valued ones.
 
-use hd_tensor::conv::{conv2d, conv2d_weight_grad, conv_out_dim, Conv2dCfg, ConvBackend, Padding};
+use hd_tensor::conv::{
+    conv2d, conv2d_weight_grad, conv_out_dim, BackendPolicy, Conv2dCfg, ConvBackend, Padding,
+};
 use hd_tensor::{Tensor3, Tensor4};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -25,7 +31,9 @@ fn random_weights(seed: u64, k: usize, c: usize, kernel: usize) -> Tensor4 {
     w
 }
 
-/// Runs the same convolution on both backends.
+/// Runs the same convolution on all three backends. The CSC result must be
+/// bit-identical to Direct (same tap order by construction); the pair
+/// returned is left for the caller's Direct-vs-GEMM tolerance check.
 fn run_both(
     x: &Tensor3,
     w: &Tensor4,
@@ -33,19 +41,25 @@ fn run_both(
     stride: usize,
     padding: Padding,
 ) -> (Tensor3, Tensor3) {
-    let direct = conv2d(
-        x,
-        w,
-        bias,
-        &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Direct),
-    );
-    let gemm = conv2d(
-        x,
-        w,
-        bias,
-        &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Im2colGemm),
-    );
+    let run = |backend| {
+        conv2d(
+            x,
+            w,
+            bias,
+            &Conv2dCfg::new(stride, padding).with_backend(backend),
+        )
+    };
+    let direct = run(ConvBackend::Direct);
+    let gemm = run(ConvBackend::Im2colGemm);
+    let sparse = run(ConvBackend::SparseCsc);
     assert_eq!(direct.shape(), gemm.shape(), "backend shapes diverge");
+    assert_eq!(direct.shape(), sparse.shape(), "backend shapes diverge");
+    for (a, b) in direct.data().iter().zip(sparse.data()) {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "SparseCsc not bit-identical to Direct: {a} vs {b}"
+        );
+    }
     (direct, gemm)
 }
 
@@ -132,7 +146,55 @@ proptest! {
         }
     }
 
-    /// The weight-gradient GEMM agrees with the direct loop.
+    /// Stripe inputs (one nonzero column, the prober's probe shape) with
+    /// pruned weights: the regime the CSC backend exists for. The auto-routed
+    /// CSC result must match the dense reference loop bit-for-bit, and agree
+    /// with a GEMM run whose policy pins it onto the dense path.
+    #[test]
+    fn backends_agree_on_stripe_inputs_and_pruned_weights(
+        seed in 0u64..10_000,
+        col in 0usize..9,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        keep_percent in 5u32..40,
+        with_bias in 0u32..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor3::zeros(3, 9, 9);
+        for c in 0..3 {
+            for y in 0..9 {
+                x.set(c, y, col, rng.gen_range(-1.0f32..1.0));
+            }
+        }
+        let mut wt = random_weights(seed ^ 0x57A1, 6, 3, kernel);
+        for v in wt.data_mut().iter_mut() {
+            if rng.gen_range(0u32..100) >= keep_percent {
+                *v = 0.0;
+            }
+        }
+        let bias: Option<Vec<f32>> = (with_bias == 1).then(|| {
+            (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        });
+        // Sparse stripe ⇒ the default cfg auto-routes onto the CSC kernel.
+        let fast = conv2d(&x, &wt, bias.as_deref(), &Conv2dCfg::new(stride, Padding::Same));
+        let reference = hd_tensor::conv::conv2d_reference(
+            &x, &wt, bias.as_deref(), &Conv2dCfg::new(stride, Padding::Same));
+        prop_assert_eq!(fast.data(), reference.data(), "CSC must match the reference bit-for-bit");
+        // Zeroed thresholds pin GEMM onto the dense path despite the sparse input.
+        let dense_only = BackendPolicy {
+            input_density_threshold: 0,
+            weight_density_threshold: 0,
+            auto_sparse: false,
+        };
+        let gemm = conv2d(&x, &wt, bias.as_deref(),
+            &Conv2dCfg::new(stride, Padding::Same)
+                .with_backend(ConvBackend::Im2colGemm)
+                .with_policy(dense_only));
+        assert_close(reference.data(), gemm.data());
+    }
+
+    /// The weight-gradient GEMM agrees with the direct loop; `SparseCsc`
+    /// dispatches weight gradients to the GEMM path bit-for-bit.
     #[test]
     fn weight_grad_backends_agree(
         seed in 0u64..10_000,
@@ -148,7 +210,10 @@ proptest! {
                 &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Direct));
             let gemm = conv2d_weight_grad(&g, &x, (kernel, kernel),
                 &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::Im2colGemm));
+            let sparse = conv2d_weight_grad(&g, &x, (kernel, kernel),
+                &Conv2dCfg::new(stride, padding).with_backend(ConvBackend::SparseCsc));
             assert_close(direct.data(), gemm.data());
+            prop_assert_eq!(gemm.data(), sparse.data(), "SparseCsc grad must reuse the GEMM path");
         }
     }
 }

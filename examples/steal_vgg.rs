@@ -11,9 +11,9 @@
 //! cargo run --release --example steal_vgg -- -b direct    # direct conv loop
 //! ```
 //!
-//! The `-j N` flag caps the prober's worker threads and `-b direct|gemm`
+//! The `-j N` flag caps the prober's worker threads and `-b direct|gemm|sparse`
 //! selects the simulator's convolution backend; any combination produces a
-//! bit-identical result (the executor and both backends are deterministic),
+//! bit-identical result (the executor and all backends are deterministic),
 //! only wall-clock changes.
 
 use hd_tensor::ConvBackend;
@@ -29,7 +29,7 @@ fn parallelism_arg() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
-/// Parses `-b direct|gemm` / `--backend direct|gemm` from the command line.
+/// Parses `-b direct|gemm|sparse` / `--backend direct|gemm|sparse` from the command line.
 fn backend_arg() -> ConvBackend {
     let args: Vec<String> = std::env::args().collect();
     args.iter()

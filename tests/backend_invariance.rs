@@ -1,7 +1,8 @@
 //! End-to-end backend invariance: the full HuffDuff attack must recover
 //! exactly the same geometry, channel ratios, and candidate space whether
-//! the victim simulator convolves via the direct kernel or the im2col+GEMM
-//! backend, and whether probes run serially or in parallel. The attack
+//! the victim simulator convolves via the direct kernel, the im2col+GEMM
+//! backend, or the cached-CSC sparse forward path, and whether probes run
+//! serially or in parallel. The attack
 //! reads only DRAM traces and encode timings, both of which are functions
 //! of the (bit-identical) layer outputs.
 
@@ -61,6 +62,8 @@ fn attack_outcome_is_backend_and_parallelism_invariant() {
         (ConvBackend::Direct, Some(4)),
         (ConvBackend::Im2colGemm, Some(4)),
         (ConvBackend::Im2colGemm, None),
+        (ConvBackend::SparseCsc, Some(1)),
+        (ConvBackend::SparseCsc, Some(4)),
     ] {
         let got = attack(backend, par);
         assert_eq!(
