@@ -142,7 +142,212 @@ pub struct AccelConfig {
     pub backend_policy: BackendPolicy,
 }
 
+/// A rejected accelerator configuration (from [`AccelConfig::builder`]).
+///
+/// Struct-literal construction stays possible and unvalidated — presets and
+/// tests may build exotic configs directly — but everything that goes
+/// through the builder is checked here instead of failing deep inside a
+/// simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// DRAM channel count outside the supported 1..=2 range (0 would be a
+    /// device with no external memory at all).
+    DramChannels {
+        /// The rejected channel count.
+        got: u8,
+    },
+    /// A structurally required count (GLB banks, bank words, burst bytes,
+    /// bit widths) was zero.
+    ZeroField {
+        /// Which field was zero.
+        field: &'static str,
+    },
+    /// A rate (clock frequency, MACs per cycle, bandwidth scale) was not a
+    /// positive finite number.
+    NonPositiveRate {
+        /// Which field was rejected.
+        field: &'static str,
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DramChannels { got } => {
+                write!(f, "DRAM channels must be 1 or 2, got {got}")
+            }
+            ConfigError::ZeroField { field } => write!(f, "{field} must be nonzero"),
+            ConfigError::NonPositiveRate { field, got } => {
+                write!(f, "{field} must be positive and finite, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`AccelConfig`], seeded from a preset.
+///
+/// ```
+/// use hd_accel::{AccelConfig, DramConfig, DramKind};
+/// let cfg = AccelConfig::builder()
+///     .dram(DramKind::Lpddr4x, 2)
+///     .freq_mhz(400.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.dram, DramConfig::new(DramKind::Lpddr4x, 2));
+///
+/// assert!(AccelConfig::builder().dram(DramKind::Lpddr3, 0).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccelConfigBuilder {
+    cfg: AccelConfig,
+    dram_kind: DramKind,
+    dram_channels: u8,
+}
+
+impl AccelConfigBuilder {
+    fn from_preset(cfg: AccelConfig) -> Self {
+        AccelConfigBuilder {
+            dram_kind: cfg.dram.kind,
+            dram_channels: cfg.dram.channels,
+            cfg,
+        }
+    }
+
+    /// External DRAM part. Channel counts are validated at [`build`]
+    /// (`AccelConfigBuilder::build`), not here, so invalid values surface
+    /// as a [`ConfigError`] rather than a panic.
+    pub fn dram(mut self, kind: DramKind, channels: u8) -> Self {
+        self.dram_kind = kind;
+        self.dram_channels = channels;
+        self
+    }
+
+    /// Core clock in MHz.
+    pub fn freq_mhz(mut self, mhz: f64) -> Self {
+        self.cfg.freq_mhz = mhz;
+        self
+    }
+
+    /// Activation and weight transfer codecs.
+    pub fn schemes(mut self, act: CompressionScheme, weight: CompressionScheme) -> Self {
+        self.cfg.act_scheme = act;
+        self.cfg.weight_scheme = weight;
+        self
+    }
+
+    /// Volume-channel defence.
+    pub fn defence(mut self, defence: Defence) -> Self {
+        self.cfg.defence = defence;
+        self
+    }
+
+    /// Host-side convolution backend.
+    pub fn conv_backend(mut self, backend: ConvBackend) -> Self {
+        self.cfg.conv_backend = backend;
+        self
+    }
+
+    /// Kernel-dispatch policy.
+    pub fn backend_policy(mut self, policy: BackendPolicy) -> Self {
+        self.cfg.backend_policy = policy;
+        self
+    }
+
+    /// GLB drain bandwidth multiplier.
+    pub fn glb_scale(mut self, scale: f64) -> Self {
+        self.cfg.glb_bandwidth_scale = scale;
+        self
+    }
+
+    /// Psum GLB geometry: parallel banks and words per bank row.
+    pub fn glb_geometry(mut self, banks: usize, bank_words: usize) -> Self {
+        self.cfg.glb_banks = banks;
+        self.cfg.bank_words = bank_words;
+        self
+    }
+
+    /// On-chip weight buffer capacity in bytes.
+    pub fn weight_glb_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.weight_glb_bytes = bytes;
+        self
+    }
+
+    /// DRAM burst size in bytes.
+    pub fn burst_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.burst_bytes = bytes;
+        self
+    }
+
+    /// Recycle freed DRAM activation buffers (paper footnote 4).
+    pub fn reuse_activations(mut self, on: bool) -> Self {
+        self.cfg.reuse_activations = on;
+        self
+    }
+
+    /// Run batch norm as a separate dense-psum pass (paper §2).
+    pub fn separate_batch_norm(mut self, on: bool) -> Self {
+        self.cfg.separate_batch_norm = on;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for unsupported DRAM channel counts, zero
+    /// structural counts, or non-positive rates.
+    pub fn build(self) -> Result<AccelConfig, ConfigError> {
+        if !(1..=2).contains(&self.dram_channels) {
+            return Err(ConfigError::DramChannels {
+                got: self.dram_channels,
+            });
+        }
+        let mut cfg = self.cfg;
+        cfg.dram = DramConfig {
+            kind: self.dram_kind,
+            channels: self.dram_channels,
+        };
+        for (field, value) in [
+            ("glb_banks", cfg.glb_banks as u64),
+            ("bank_words", cfg.bank_words as u64),
+            ("acc_bits", cfg.acc_bits as u64),
+            ("act_bits", cfg.act_bits as u64),
+            ("weight_bits", cfg.weight_bits as u64),
+            ("burst_bytes", cfg.burst_bytes),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        for (field, value) in [
+            ("freq_mhz", cfg.freq_mhz),
+            ("macs_per_cycle", cfg.macs_per_cycle),
+            ("glb_bandwidth_scale", cfg.glb_bandwidth_scale),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ConfigError::NonPositiveRate { field, got: value });
+            }
+        }
+        Ok(cfg)
+    }
+}
+
 impl AccelConfig {
+    /// A validating builder seeded with the [`AccelConfig::eyeriss_v2`]
+    /// preset. Use [`AccelConfig::builder_from`] to start elsewhere.
+    pub fn builder() -> AccelConfigBuilder {
+        AccelConfigBuilder::from_preset(AccelConfig::eyeriss_v2())
+    }
+
+    /// A validating builder seeded with an arbitrary base configuration.
+    pub fn builder_from(base: AccelConfig) -> AccelConfigBuilder {
+        AccelConfigBuilder::from_preset(base)
+    }
+
     /// Eyeriss-v2-like defaults (paper §8.2): 8 psum GLB banks x 3 words,
     /// 20-bit accumulators, 8-bit activations, 200 MHz, bitmap codec,
     /// single-channel LPDDR4.
@@ -318,6 +523,70 @@ mod tests {
             ..BackendPolicy::default()
         });
         assert!(!off.backend_policy.auto_sparse);
+    }
+
+    #[test]
+    fn builder_defaults_match_eyeriss_preset() {
+        assert_eq!(
+            AccelConfig::builder().build().unwrap(),
+            AccelConfig::eyeriss_v2()
+        );
+        assert_eq!(
+            AccelConfig::builder_from(AccelConfig::scnn_like())
+                .build()
+                .unwrap(),
+            AccelConfig::scnn_like()
+        );
+    }
+
+    #[test]
+    fn builder_applies_setters() {
+        let cfg = AccelConfig::builder()
+            .dram(DramKind::Lpddr4x, 2)
+            .freq_mhz(400.0)
+            .glb_geometry(16, 2)
+            .burst_bytes(32)
+            .reuse_activations(true)
+            .separate_batch_norm(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.dram, DramConfig::new(DramKind::Lpddr4x, 2));
+        assert_eq!(cfg.freq_mhz, 400.0);
+        assert_eq!((cfg.glb_banks, cfg.bank_words), (16, 2));
+        assert_eq!(cfg.burst_bytes, 32);
+        assert!(cfg.reuse_activations && cfg.separate_batch_norm);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            AccelConfig::builder().dram(DramKind::Lpddr3, 0).build(),
+            Err(ConfigError::DramChannels { got: 0 })
+        );
+        assert_eq!(
+            AccelConfig::builder().dram(DramKind::Lpddr3, 3).build(),
+            Err(ConfigError::DramChannels { got: 3 })
+        );
+        assert_eq!(
+            AccelConfig::builder().glb_geometry(0, 3).build(),
+            Err(ConfigError::ZeroField { field: "glb_banks" })
+        );
+        assert_eq!(
+            AccelConfig::builder().burst_bytes(0).build(),
+            Err(ConfigError::ZeroField {
+                field: "burst_bytes"
+            })
+        );
+        let err = AccelConfig::builder().freq_mhz(0.0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NonPositiveRate {
+                field: "freq_mhz",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("freq_mhz"));
+        assert!(AccelConfig::builder().glb_scale(f64::NAN).build().is_err());
     }
 
     #[test]

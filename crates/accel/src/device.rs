@@ -144,9 +144,12 @@ impl Device {
         let sparse = self.cfg.conv_backend == ConvBackend::SparseCsc
             || (policy.auto_sparse && policy.input_is_sparse(image.nnz(), image.shape().len()));
         if sparse {
-            let cache = self
-                .fwd_cache
-                .get_or_init(|| ForwardCache::build(&self.net, &self.params, policy));
+            let mut built = false;
+            let cache = self.fwd_cache.get_or_init(|| {
+                built = true;
+                ForwardCache::build(&self.net, &self.params, policy)
+            });
+            hd_obs::counter_add("device.fwd_cache", if built { "miss" } else { "hit" }, 1);
             self.net.forward_cached(&self.params, image, cache)
         } else {
             self.net
@@ -187,10 +190,14 @@ impl Device {
     ///
     /// Panics if the image shape does not match [`Device::input_shape`], or
     /// if the sealed graph is malformed (see [`Device::try_run`] for the
-    /// non-panicking variant).
+    /// non-panicking variant). `#[track_caller]` pins the panic location to
+    /// the call site, not this wrapper.
+    #[track_caller]
     pub fn run(&self, image: &Tensor3) -> Trace {
-        self.try_run(image)
-            .unwrap_or_else(|e| panic!("device simulation failed: {e}"))
+        match self.try_run(image) {
+            Ok(trace) => trace,
+            Err(e) => panic!("device simulation failed: {e}"),
+        }
     }
 
     /// Executes one inference, reporting malformed-graph conditions as
@@ -200,6 +207,7 @@ impl Device {
     ///
     /// Panics if the image shape does not match [`Device::input_shape`].
     pub fn try_run(&self, image: &Tensor3) -> Result<Trace, DeviceError> {
+        let _run_span = hd_obs::span("device.run", "");
         let noise = self.noise_for(image);
         let trace = self.forward_for(image);
         let mut out = Trace::default();
@@ -237,6 +245,7 @@ impl Device {
             bytes_duration_ps(input_bytes, dram_bw),
             0,
         );
+        hd_obs::counter_add("dram.write.bytes", "input_dma", input_bytes);
         t += PHASE_GAP_PS;
 
         for (id, node) in self.net.nodes().iter().enumerate() {
@@ -250,6 +259,7 @@ impl Device {
                 remaining_uses[node.inputs[0]] += remaining_uses[id];
                 continue;
             }
+            let _layer_span = hd_obs::span("device.layer", self.net.name(id));
 
             // 1) Weight fetch.
             if let Some((addr, bytes)) = self.weight_regions[id] {
@@ -262,6 +272,7 @@ impl Device {
                     bytes_duration_ps(bytes, dram_bw),
                     0,
                 );
+                hd_obs::counter_add("dram.read.bytes", "weights", bytes);
             }
             // 2) Input activation fetch. Layers whose weights exceed the
             //    on-chip buffer run in multiple passes and re-read their
@@ -285,6 +296,7 @@ impl Device {
                         bytes_duration_ps(bytes, dram_bw),
                         0,
                     );
+                    hd_obs::counter_add("dram.read.bytes", "activations", bytes);
                 }
             }
 
@@ -309,6 +321,7 @@ impl Device {
                         bytes_duration_ps(dense_bytes, dram_bw),
                         0,
                     );
+                    hd_obs::counter_add("dram.write.bytes", "psum", dense_bytes);
                     t += PHASE_GAP_PS;
                     t = self.emit_stream(
                         &mut out,
@@ -319,6 +332,7 @@ impl Device {
                         bytes_duration_ps(dense_bytes, dram_bw),
                         0,
                     );
+                    hd_obs::counter_add("dram.read.bytes", "psum", dense_bytes);
                 }
             }
 
@@ -327,9 +341,15 @@ impl Device {
             let out_bytes = self.value_transfer_bytes(out_value, &noise);
             let psum_elems = out_value.flat().len() as u64;
             let timing = encode_timing(&self.cfg, psum_elems, out_bytes);
+            hd_obs::observe(
+                "device.encode.duration_ps",
+                self.net.name(id),
+                timing.duration_ps as f64,
+            );
             let region = allocator.alloc(out_bytes);
             act_regions[id] = Some(region);
             t = self.emit_encode_writes(&mut out, t, region.0, out_bytes, &timing);
+            hd_obs::counter_add("dram.write.bytes", "activations", out_bytes);
             t += PHASE_GAP_PS;
 
             // Release input buffers whose last consumer just ran.
@@ -369,13 +389,16 @@ impl Device {
     /// # Panics
     ///
     /// Panics on malformed graphs; see [`Device::try_energy_estimate`].
+    #[track_caller]
     pub fn energy_estimate(
         &self,
         image: &Tensor3,
         model: &crate::energy::EnergyModel,
     ) -> crate::energy::EnergyReport {
-        self.try_energy_estimate(image, model)
-            .unwrap_or_else(|e| panic!("device simulation failed: {e}"))
+        match self.try_energy_estimate(image, model) {
+            Ok(report) => report,
+            Err(e) => panic!("device simulation failed: {e}"),
+        }
     }
 
     /// Non-panicking variant of [`Device::energy_estimate`].
@@ -430,6 +453,11 @@ impl Device {
     fn compute_duration_ps(&self, id: NodeId) -> Result<u64, DeviceError> {
         let macs = self.node_macs[id]?;
         let cycles = macs / self.cfg.macs_per_cycle.max(1.0);
+        hd_obs::counter_add(
+            "device.compute.cycles",
+            self.net.name(id),
+            cycles.round() as u64,
+        );
         Ok((cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64)
     }
 

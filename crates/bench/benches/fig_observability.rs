@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hd_bench::{experiments::observability_table, Scale};
-use huffduff_core::observability::{observability_rate, ObservabilityConfig};
+use huffduff_core::boundary_obs::{observability_rate, ObservabilityConfig};
 
 fn bench(c: &mut Criterion) {
     println!("{}", observability_table(Scale::Fast));

@@ -8,7 +8,14 @@
 //! ```text
 //! cargo bench -p hd-bench --bench fig_sparse_fwd
 //! HD_BENCH_SMOKE=1 cargo bench -p hd-bench --bench fig_sparse_fwd   # CI
+//! HD_BENCH_GUARD=1 cargo bench -p hd-bench --bench fig_sparse_fwd   # guard
 //! ```
+//!
+//! `HD_BENCH_GUARD=1` additionally runs the full (non-smoke) VGG-S sparse
+//! prober once with telemetry explicitly disabled and fails if its
+//! wall-clock regresses more than 2% over the `mean_s` recorded in
+//! `BENCH_sparse_fwd.json` — the contract that the `hd-obs` disabled path
+//! (one relaxed atomic load per hook) stays free.
 //!
 //! Both rows run with `parallelism = Some(1)`: the sparse path accelerates
 //! each inference, so its speedup is orthogonal to (and composes with) the
@@ -48,7 +55,57 @@ fn timed_bench(
     (last.into_inner().unwrap().expect("probe ran"), times)
 }
 
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse_fwd.json");
+
+/// `HD_BENCH_GUARD=1` regression guard: with telemetry disabled, the full
+/// single-threaded VGG-S sparse prober must stay within 2% of the `mean_s`
+/// recorded in `BENCH_sparse_fwd.json`. Uses the best of two measured runs
+/// (after a warmup) so one scheduler hiccup cannot fail the guard, and the
+/// vendored `hd_obs::json` parser so the artifact schema stays honest.
+fn telemetry_overhead_guard() {
+    use hd_obs::json::Json;
+    let text = std::fs::read_to_string(BENCH_JSON).expect("BENCH_sparse_fwd.json missing");
+    let json = Json::parse(&text).expect("BENCH_sparse_fwd.json is valid JSON");
+    let baseline = json
+        .get("victims")
+        .and_then(|v| v.as_array())
+        .and_then(|victims| {
+            victims
+                .iter()
+                .find(|v| v.get("victim").and_then(|n| n.as_str()) == Some("VGG-S"))
+        })
+        .and_then(|v| v.get("sparse"))
+        .and_then(|s| s.get("mean_s"))
+        .and_then(|m| m.as_f64())
+        .expect("VGG-S sparse mean_s present in BENCH_sparse_fwd.json");
+
+    hd_obs::set_enabled(false);
+    let (device, _) = paper_victim_with(Model::VggS, 3, hd_accel::AccelConfig::eyeriss_v2());
+    let cfg = ProberConfig::default().with_parallelism(Some(1));
+    probe(&device, &cfg).expect("probe succeeds"); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        probe(&device, &cfg).expect("probe succeeds");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let limit = baseline * 1.02;
+    println!(
+        "guard: telemetry-disabled VGG-S sparse probe {best:.3}s \
+         (recorded {baseline:.3}s, limit {limit:.3}s)"
+    );
+    assert!(
+        best <= limit,
+        "telemetry-disabled prober regressed more than 2%: {best:.3}s vs \
+         recorded mean {baseline:.3}s"
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    if std::env::var("HD_BENCH_GUARD").is_ok() {
+        telemetry_overhead_guard();
+        return;
+    }
     let smoke = std::env::var("HD_BENCH_SMOKE").is_ok();
     let probe_cfg = if smoke {
         ProberConfig {
@@ -134,9 +191,8 @@ fn bench(c: &mut Criterion) {
          \"results_bit_identical\": true,\n  \"victims\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse_fwd.json");
-    std::fs::write(path, json).expect("write BENCH_sparse_fwd.json");
-    println!("wrote {path}");
+    std::fs::write(BENCH_JSON, json).expect("write BENCH_sparse_fwd.json");
+    println!("wrote {BENCH_JSON}");
 }
 
 criterion_group! {

@@ -3,7 +3,7 @@
 
 use crate::table::Table;
 use crate::Scale;
-use huffduff_core::observability::{amplified_rate, observability_rate, ObservabilityConfig};
+use huffduff_core::boundary_obs::{amplified_rate, observability_rate, ObservabilityConfig};
 
 /// Regenerates the observability Monte-Carlo across kernel sizes and
 /// pruned-weight densities, plus the multi-probe amplification row.

@@ -5,13 +5,13 @@
 //! ratios (§7), and finalize a small candidate space via the first-layer
 //! sparsity bound (§8.2).
 
-use crate::prober::{probe, ProbeError, ProbeTarget, ProberConfig, ProberResult};
+use crate::prober::{probe, ConfigError, ProbeError, ProbeTarget, ProberConfig, ProberResult};
 use crate::solution::{finalize, CodecModel, SolutionError, SolutionSpace};
 use crate::timing::{channel_ratios, ChannelRatios, TimingError};
 use std::fmt;
 
 /// Full attack configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttackConfig {
     /// Prober settings.
     pub prober: ProberConfig,
@@ -37,8 +37,92 @@ impl Default for AttackConfig {
     }
 }
 
-/// Everything the attack recovered.
-#[derive(Clone, Debug)]
+/// Validating builder for [`AttackConfig`], seeded with the defaults.
+///
+/// ```
+/// use huffduff_core::attack::AttackConfig;
+/// use huffduff_core::prober::ProberConfig;
+/// let cfg = AttackConfig::builder()
+///     .prober(ProberConfig::builder().shifts(12).build().unwrap())
+///     .classes(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.classes, 4);
+///
+/// assert!(AttackConfig::builder().classes(0).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AttackConfigBuilder {
+    cfg: AttackConfig,
+}
+
+impl AttackConfigBuilder {
+    /// Prober settings (validate them with [`ProberConfig::builder`] or
+    /// rely on the nested check in [`AttackConfigBuilder::build`]).
+    pub fn prober(mut self, prober: ProberConfig) -> Self {
+        self.cfg.prober = prober;
+        self
+    }
+
+    /// The attacker's codec model of the device.
+    pub fn codec(mut self, codec: CodecModel) -> Self {
+        self.cfg.codec = codec;
+        self
+    }
+
+    /// Empirical bound on first-layer weight sparsity.
+    pub fn first_layer_max_sparsity(mut self, bound: f64) -> Self {
+        self.cfg.first_layer_max_sparsity = bound;
+        self
+    }
+
+    /// Number of output classes.
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.cfg.classes = classes;
+        self
+    }
+
+    /// Upper bound on any channel count considered.
+    pub fn max_k(mut self, max_k: usize) -> Self {
+        self.cfg.max_k = max_k;
+        self
+    }
+
+    /// Validates (including the nested prober config) and produces the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero counts, an out-of-range sparsity
+    /// bound, or an invalid nested [`ProberConfig`].
+    pub fn build(self) -> Result<AttackConfig, ConfigError> {
+        self.cfg.prober.validate()?;
+        for (field, value) in [("classes", self.cfg.classes), ("max_k", self.cfg.max_k)] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        let bound = self.cfg.first_layer_max_sparsity;
+        if !(bound.is_finite() && 0.0 < bound && bound <= 1.0) {
+            return Err(ConfigError::FractionOutOfRange {
+                field: "first_layer_max_sparsity",
+                got: bound,
+            });
+        }
+        Ok(self.cfg)
+    }
+}
+
+impl AttackConfig {
+    /// A validating builder seeded with [`AttackConfig::default`].
+    pub fn builder() -> AttackConfigBuilder {
+        AttackConfigBuilder::default()
+    }
+}
+
+/// Everything the attack recovered. `PartialEq` exists so the telemetry
+/// invariance test can assert bit-identical outcomes with `hd_obs` on/off.
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttackOutcome {
     /// Geometry recovery (per-layer kinds, kernels, strides, pools).
     pub prober: ProberResult,
@@ -114,17 +198,27 @@ impl From<SolutionError> for AttackError {
 ///
 /// Returns [`AttackError`] if any stage cannot complete.
 pub fn run(target: &dyn ProbeTarget, cfg: &AttackConfig) -> Result<AttackOutcome, AttackError> {
-    let prober = probe(target, &cfg.prober)?;
-    let ratios = channel_ratios(&prober)?;
-    let space = finalize(
-        &prober,
-        &ratios,
-        target.input_shape(),
-        cfg.classes,
-        &cfg.codec,
-        cfg.first_layer_max_sparsity,
-        cfg.max_k,
-    )?;
+    let _run_span = hd_obs::span("attack.run", "");
+    let prober = {
+        let _stage = hd_obs::span("attack.stage", "probe");
+        probe(target, &cfg.prober)?
+    };
+    let ratios = {
+        let _stage = hd_obs::span("attack.stage", "timing");
+        channel_ratios(&prober)?
+    };
+    let space = {
+        let _stage = hd_obs::span("attack.stage", "finalize");
+        finalize(
+            &prober,
+            &ratios,
+            target.input_shape(),
+            cfg.classes,
+            &cfg.codec,
+            cfg.first_layer_max_sparsity,
+            cfg.max_k,
+        )?
+    };
     Ok(AttackOutcome {
         prober,
         ratios,
@@ -231,6 +325,43 @@ mod tests {
         assert!(rep.contains("prober"));
         assert!(rep.contains("timing channel"));
         assert!(rep.contains("solution space"));
+    }
+
+    #[test]
+    fn attack_builder_validates_nested_and_own_fields() {
+        use crate::prober::ConfigError;
+        let cfg = AttackConfig::builder()
+            .classes(4)
+            .max_k(256)
+            .first_layer_max_sparsity(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.classes, 4);
+        assert_eq!(cfg.max_k, 256);
+        assert_eq!(
+            AttackConfig::builder().classes(0).build(),
+            Err(ConfigError::ZeroField { field: "classes" })
+        );
+        assert_eq!(
+            AttackConfig::builder().max_k(0).build(),
+            Err(ConfigError::ZeroField { field: "max_k" })
+        );
+        assert!(matches!(
+            AttackConfig::builder()
+                .first_layer_max_sparsity(1.5)
+                .build(),
+            Err(ConfigError::FractionOutOfRange { .. })
+        ));
+        // The nested prober config is re-validated at attack build time.
+        assert_eq!(
+            AttackConfig::builder()
+                .prober(ProberConfig {
+                    shifts: 0,
+                    ..ProberConfig::default()
+                })
+                .build(),
+            Err(ConfigError::ZeroField { field: "shifts" })
+        );
     }
 
     #[test]

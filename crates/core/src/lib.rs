@@ -20,7 +20,7 @@
 //!    [`solution::SolutionSpace::build_network`] turns into trainable
 //!    networks;
 //! 5. [`reversecnn`] implements the dense-case baseline and the naive
-//!    sparse bound of Table 1, and [`observability`] the §5.2 Monte-Carlo.
+//!    sparse bound of Table 1, and [`boundary_obs`] the §5.2 Monte-Carlo.
 //!
 //! [`attack::run`] chains stages 1–4 end to end. [`eval`] scores results
 //! against ground truth (evaluation harnesses only).
@@ -48,8 +48,8 @@
 
 pub mod anm;
 pub mod attack;
+pub mod boundary_obs;
 pub mod eval;
-pub mod observability;
 pub mod pattern;
 pub mod probe;
 pub mod prober;
@@ -58,8 +58,17 @@ pub mod solution;
 pub mod symbolic;
 pub mod timing;
 
-pub use attack::{run, AttackConfig, AttackError, AttackOutcome};
+/// The pre-rename path of [`boundary_obs`] (the module measures
+/// *boundary-effect* observability; the old name collided with the `hd-obs`
+/// telemetry crate once that existed).
+#[deprecated(since = "0.1.0", note = "renamed to `boundary_obs`")]
+pub use boundary_obs as observability;
+
+pub use attack::{run, AttackConfig, AttackConfigBuilder, AttackError, AttackOutcome};
 pub use pattern::Pattern;
-pub use prober::{probe as run_prober, LayerKind, ProbeTarget, ProberConfig, ProberResult};
+pub use prober::{
+    probe as run_prober, ConfigError, LayerKind, ProbeTarget, ProberConfig, ProberConfigBuilder,
+    ProberResult,
+};
 pub use solution::{CandidateArch, CodecModel, SolutionSpace};
 pub use timing::ChannelRatios;

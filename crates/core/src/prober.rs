@@ -110,7 +110,7 @@ pub struct RecoveredLayer {
 }
 
 /// Prober configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProberConfig {
     /// Number of stripe positions swept from the left edge.
     pub shifts: usize,
@@ -150,7 +150,171 @@ impl Default for ProberConfig {
     }
 }
 
+/// A rejected attack-side configuration (from [`ProberConfig::builder`] or
+/// [`crate::attack::AttackConfig::builder`]).
+///
+/// Struct-literal construction stays possible and unvalidated; the builders
+/// reject configurations that would silently degenerate (a campaign with
+/// zero probes, a hypothesis grid with no candidates, a zero-thread
+/// executor) before any device run happens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A count that must be positive (shifts, probe families, classes…)
+    /// was zero.
+    ZeroField {
+        /// Which field was zero.
+        field: &'static str,
+    },
+    /// A candidate list (kernels, strides, pools) was empty — no
+    /// hypothesis could ever be accepted.
+    EmptyCandidates {
+        /// Which list was empty.
+        field: &'static str,
+    },
+    /// `parallelism == Some(0)`: an executor with no worker threads.
+    /// Use `Some(1)` for the serial path or `None` for all cores.
+    ZeroParallelism,
+    /// A fraction (first-layer sparsity bound) was outside `(0, 1]`.
+    FractionOutOfRange {
+        /// Which field was rejected.
+        field: &'static str,
+        /// The rejected value.
+        got: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField { field } => write!(f, "{field} must be nonzero"),
+            ConfigError::EmptyCandidates { field } => {
+                write!(f, "{field} must list at least one candidate")
+            }
+            ConfigError::ZeroParallelism => write!(
+                f,
+                "parallelism Some(0) is meaningless; use Some(1) for serial or None for all cores"
+            ),
+            ConfigError::FractionOutOfRange { field, got } => {
+                write!(f, "{field} must be in (0, 1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ProberConfig`], seeded with the defaults.
+///
+/// ```
+/// use huffduff_core::prober::ProberConfig;
+/// let cfg = ProberConfig::builder()
+///     .shifts(12)
+///     .parallelism(Some(4))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.shifts, 12);
+///
+/// assert!(ProberConfig::builder().parallelism(Some(0)).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProberConfigBuilder {
+    cfg: ProberConfig,
+}
+
+impl ProberConfigBuilder {
+    /// Number of stripe positions swept from the left edge.
+    pub fn shifts(mut self, shifts: usize) -> Self {
+        self.cfg.shifts = shifts;
+        self
+    }
+
+    /// Maximum independent probe families.
+    pub fn max_probes(mut self, max_probes: usize) -> Self {
+        self.cfg.max_probes = max_probes;
+        self
+    }
+
+    /// Consecutive stable families before early stop.
+    pub fn stable_probes(mut self, stable_probes: usize) -> Self {
+        self.cfg.stable_probes = stable_probes;
+        self
+    }
+
+    /// Candidate kernel sizes.
+    pub fn kernels(mut self, kernels: Vec<usize>) -> Self {
+        self.cfg.kernels = kernels;
+        self
+    }
+
+    /// Candidate strides.
+    pub fn strides(mut self, strides: Vec<usize>) -> Self {
+        self.cfg.strides = strides;
+        self
+    }
+
+    /// Candidate pooling factors.
+    pub fn pools(mut self, pools: Vec<usize>) -> Self {
+        self.cfg.pools = pools;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads (`None` = all cores, `Some(1)` = serial).
+    pub fn parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero counts, empty candidate lists, or
+    /// `parallelism == Some(0)`.
+    pub fn build(self) -> Result<ProberConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl ProberConfig {
+    /// A validating builder seeded with [`ProberConfig::default`].
+    pub fn builder() -> ProberConfigBuilder {
+        ProberConfigBuilder::default()
+    }
+
+    /// The checks [`ProberConfigBuilder::build`] enforces, callable on any
+    /// config (e.g. one assembled as a struct literal).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("shifts", self.shifts),
+            ("max_probes", self.max_probes),
+            ("stable_probes", self.stable_probes),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        for (field, list) in [
+            ("kernels", &self.kernels),
+            ("strides", &self.strides),
+            ("pools", &self.pools),
+        ] {
+            if list.is_empty() {
+                return Err(ConfigError::EmptyCandidates { field });
+            }
+        }
+        if self.parallelism == Some(0) {
+            return Err(ConfigError::ZeroParallelism);
+        }
+        Ok(())
+    }
+
     /// Returns this config with the parallelism knob set.
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
@@ -250,6 +414,7 @@ impl From<hd_trace::AnalyzeTraceError> for ProbeError {
 /// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
 /// structure varies across runs.
 pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResult, ProbeError> {
+    let _probe_span = hd_obs::span("prober.probe", "");
     let shape = target.input_shape();
     let shifts = cfg.shifts.min(shape.w);
     let families = stripe_probes(shape, shifts, cfg.max_probes, cfg.seed);
@@ -266,7 +431,18 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
     let mut stable_for = 0usize;
     let mut probes_used = 0usize;
 
-    for family in &families {
+    for (family_idx, family) in families.iter().enumerate() {
+        let _family_span = hd_obs::span("prober.family", "");
+        hd_obs::counter_add("prober.families", "", 1);
+        if hd_obs::enabled() {
+            // Per-family run counts; `counter_total("prober.runs")` gives
+            // the campaign total. The label format! only runs when enabled.
+            hd_obs::counter_add(
+                "prober.runs",
+                &format!("family{family_idx}"),
+                family.images.len() as u64,
+            );
+        }
         let analyses = run_family(target, &family.images, workers)?;
         let mut bytes_this: Vec<Vec<u64>> = Vec::with_capacity(shifts);
         for analysis in analyses {
@@ -424,21 +600,47 @@ fn run_family(
     images: &[Tensor3],
     workers: usize,
 ) -> Result<Vec<TraceAnalysis>, ProbeError> {
-    let run_one = |img: &Tensor3| -> Result<TraceAnalysis, ProbeError> {
-        Ok(analyze(&target.run_probe(img))?)
+    let run_one = |idx: usize, img: &Tensor3| -> Result<TraceAnalysis, ProbeError> {
+        // Telemetry prep (label formatting, wall-clock read) only runs when
+        // enabled; the disabled path is a single relaxed atomic load.
+        let shift_timer = if hd_obs::enabled() {
+            Some((
+                hd_obs::span("prober.shift", &idx.to_string()),
+                std::time::Instant::now(),
+            ))
+        } else {
+            None
+        };
+        let analysis = analyze(&target.run_probe(img))?;
+        if let Some((_span, t0)) = shift_timer {
+            hd_obs::observe(
+                "prober.shift_latency_us",
+                "",
+                t0.elapsed().as_micros() as f64,
+            );
+        }
+        Ok(analysis)
     };
     if workers <= 1 || images.len() <= 1 {
-        return images.iter().map(run_one).collect();
+        return images
+            .iter()
+            .enumerate()
+            .map(|(idx, img)| run_one(idx, img))
+            .collect();
     }
 
     let mut slots: Vec<Option<Result<TraceAnalysis, ProbeError>>> = Vec::new();
     slots.resize_with(images.len(), || None);
     let chunk = images.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for (imgs, outs) in images.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+        for (chunk_idx, (imgs, outs)) in images
+            .chunks(chunk)
+            .zip(slots.chunks_mut(chunk))
+            .enumerate()
+        {
             scope.spawn(move || {
-                for (img, out) in imgs.iter().zip(outs.iter_mut()) {
-                    *out = Some(run_one(img));
+                for (off, (img, out)) in imgs.iter().zip(outs.iter_mut()).enumerate() {
+                    *out = Some(run_one(chunk_idx * chunk + off, img));
                 }
             });
         }
@@ -1033,6 +1235,62 @@ mod tests {
             let par = run_family(&dev, &fams[0].images, workers).unwrap();
             assert_eq!(serial, par, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn builder_matches_defaults_and_applies_setters() {
+        let built = ProberConfig::builder().build().unwrap();
+        let defaults = ProberConfig::default();
+        assert_eq!(built.shifts, defaults.shifts);
+        assert_eq!(built.kernels, defaults.kernels);
+        let custom = ProberConfig::builder()
+            .shifts(12)
+            .max_probes(8)
+            .stable_probes(2)
+            .kernels(vec![3, 5])
+            .strides(vec![1])
+            .pools(vec![2])
+            .seed(99)
+            .parallelism(Some(2))
+            .build()
+            .unwrap();
+        assert_eq!(custom.shifts, 12);
+        assert_eq!(custom.kernels, vec![3, 5]);
+        assert_eq!(custom.parallelism, Some(2));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert_eq!(
+            ProberConfig::builder().shifts(0).build(),
+            Err(ConfigError::ZeroField { field: "shifts" })
+        );
+        assert_eq!(
+            ProberConfig::builder().max_probes(0).build(),
+            Err(ConfigError::ZeroField {
+                field: "max_probes"
+            })
+        );
+        assert_eq!(
+            ProberConfig::builder().kernels(vec![]).build(),
+            Err(ConfigError::EmptyCandidates { field: "kernels" })
+        );
+        assert_eq!(
+            ProberConfig::builder().pools(vec![]).build(),
+            Err(ConfigError::EmptyCandidates { field: "pools" })
+        );
+        let err = ProberConfig::builder()
+            .parallelism(Some(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroParallelism);
+        assert!(err.to_string().contains("Some(1)"));
+        // Struct literals remain unvalidated but can be checked explicitly.
+        let raw = ProberConfig {
+            shifts: 0,
+            ..ProberConfig::default()
+        };
+        assert!(raw.validate().is_err());
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub struct CandidateArch {
 }
 
 /// The finalized solution space.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every recovered field bit-for-bit; the telemetry
+/// invariance test relies on it to assert attack outcomes are unaffected by
+/// observation.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SolutionSpace {
     /// Feasible first-layer channel counts.
     pub k1_candidates: Vec<usize>,

@@ -420,6 +420,18 @@ impl Network {
                     )
                 }
             };
+            // Telemetry: how much work the dirty-interval machinery saved on
+            // this node. Input nodes are excluded (nothing is recomputed
+            // there) and the span is clamped to the node's own width first.
+            if hd_obs::enabled() && !matches!(node.op, Op::Input) {
+                if let Some(node_span) = span {
+                    let w = trace.out.map().w();
+                    let recomputed = node_span.clamp(w).width() as u64;
+                    hd_obs::counter_add("sparse_fwd.cols_recomputed", "", recomputed);
+                    hd_obs::counter_add("sparse_fwd.cols_skipped", "", w as u64 - recomputed);
+                    hd_obs::observe("sparse_fwd.colspan_width", "", recomputed as f64);
+                }
+            }
             traces.push(trace);
             spans.push(span);
         }

@@ -1,0 +1,188 @@
+//! The process-global telemetry store.
+//!
+//! One `Mutex<Inner>` guards three ordered maps/lists. A mutex (rather
+//! than sharded atomics) is deliberate: instrumentation sites fire at
+//! layer/probe granularity — thousands of events per second, not millions
+//! — and the disabled path never reaches the lock at all.
+
+use crate::export::{CounterSnap, HistSnap, Snapshot, SpanSnap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on retained span records; beyond it spans are counted in
+/// `spans_dropped` instead of stored. A runaway probe campaign then costs
+/// bounded memory and the exports report the truncation explicitly.
+pub const MAX_SPANS: usize = 1 << 20;
+
+/// `(metric name, label)` — the key of every counter and histogram.
+///
+/// Names are `&'static str` by design: the set of metrics is closed at
+/// compile time, labels carry the open-ended dimension (layer name,
+/// transfer type, shift index).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Key {
+    pub name: &'static str,
+    pub label: String,
+}
+
+/// Order-independent aggregate of histogram samples. `count`, `min`, and
+/// `max` are exact under any thread interleaving; `sum` is exact in value
+/// terms only up to f64 addition order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct HistStats {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistStats {
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub(crate) struct SpanRecord {
+    pub name: &'static str,
+    pub label: String,
+    pub tid: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    hists: BTreeMap<Key, HistStats>,
+    spans: Vec<SpanRecord>,
+    spans_dropped: u64,
+}
+
+pub(crate) struct Registry {
+    inner: Mutex<Inner>,
+    /// Process-wide monotonic epoch: all span timestamps are microseconds
+    /// since the registry's first use. Survives `reset` so successive
+    /// collection windows never produce overlapping Chrome timelines.
+    epoch: Instant,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| Registry {
+        inner: Mutex::new(Inner::default()),
+        epoch: Instant::now(),
+    })
+}
+
+/// Small dense thread id for Chrome trace `tid` fields (std's `ThreadId`
+/// has no stable integer accessor). Assigned on first telemetry use per
+/// thread, in arrival order.
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|id| *id)
+}
+
+impl Registry {
+    /// Microseconds on the registry's monotonic clock.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Telemetry must never take the process down: a panic while the
+        // lock was held (poisoned mutex) still leaves a usable map.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
+        let mut inner = self.lock();
+        let slot = inner
+            .counters
+            .entry(Key {
+                name,
+                label: label.to_string(),
+            })
+            .or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    pub fn observe(&self, name: &'static str, label: &str, value: f64) {
+        let mut inner = self.lock();
+        inner
+            .hists
+            .entry(Key {
+                name,
+                label: label.to_string(),
+            })
+            .or_default()
+            .record(value);
+    }
+
+    pub fn push_span(&self, record: SpanRecord) {
+        let mut inner = self.lock();
+        if inner.spans.len() >= MAX_SPANS {
+            inner.spans_dropped += 1;
+        } else {
+            inner.spans.push(record);
+        }
+    }
+
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| CounterSnap {
+                    name: k.name.to_string(),
+                    label: k.label.clone(),
+                    value: v,
+                })
+                .collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(k, h)| HistSnap {
+                    name: k.name.to_string(),
+                    label: k.label.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                })
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|s| SpanSnap {
+                    name: s.name.to_string(),
+                    label: s.label.clone(),
+                    tid: s.tid,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                })
+                .collect(),
+            spans_dropped: inner.spans_dropped,
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared command-line handling for the example binaries.
+//!
+//! Included via `#[path = "common/cli.rs"] mod cli;` (files under
+//! `examples/common/` are not themselves example targets). Every example
+//! accepts the same surface:
+//!
+//! ```text
+//! -j, --parallelism N       prober worker threads (default: all cores)
+//! -b, --backend KIND        conv backend: direct | gemm | sparse
+//! -o, --obs PATH            enable telemetry; write JSON to PATH and a
+//!                           Chrome trace next to it (.trace.json)
+//! -h, --help                usage
+//! ```
+//!
+//! Unknown flags are errors (exit code 2), not silently ignored — the old
+//! per-example parsers scanned for known flags and dropped the rest, which
+//! made typos like `--paralellism 4` run the slow default silently.
+
+// Each example includes this module but uses a different subset of it.
+#![allow(dead_code)]
+
+use hd_tensor::ConvBackend;
+use std::path::{Path, PathBuf};
+
+/// Parsed common options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CliArgs {
+    /// `-j N`: prober worker threads (`None` = all cores).
+    pub parallelism: Option<usize>,
+    /// `-b KIND`: simulator conv backend (`None` = crate default).
+    pub backend: Option<ConvBackend>,
+    /// `-o PATH`: telemetry JSON output path; presence enables telemetry.
+    pub obs_out: Option<PathBuf>,
+}
+
+impl CliArgs {
+    /// The backend to use (explicit flag or the default).
+    pub fn backend_or_default(&self) -> ConvBackend {
+        self.backend.unwrap_or_default()
+    }
+
+    /// Whether telemetry collection was requested.
+    pub fn telemetry(&self) -> bool {
+        self.obs_out.is_some()
+    }
+
+    /// Parses `std::env::args`, printing usage and exiting on `--help`
+    /// (code 0) or any parse error (code 2).
+    pub fn parse(example: &str) -> CliArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&argv) {
+            Ok(Parsed::Args(args)) => args,
+            Ok(Parsed::HelpRequested) => {
+                println!("{}", usage(example));
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage(example));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parser over an argument slice (no process exit, testable).
+    pub fn try_parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut args = CliArgs::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value_for = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "-h" | "--help" => return Ok(Parsed::HelpRequested),
+                "-j" | "--parallelism" => {
+                    let v = value_for(flag)?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid worker count {v:?}"))?;
+                    if n == 0 {
+                        return Err("worker count must be at least 1".into());
+                    }
+                    args.parallelism = Some(n);
+                }
+                "-b" | "--backend" => {
+                    let v = value_for(flag)?;
+                    let backend = ConvBackend::parse(&v).ok_or_else(|| {
+                        format!("unknown backend {v:?} (expected direct, gemm, or sparse)")
+                    })?;
+                    args.backend = Some(backend);
+                }
+                "-o" | "--obs" => {
+                    args.obs_out = Some(PathBuf::from(value_for(flag)?));
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(Parsed::Args(args))
+    }
+}
+
+/// Outcome of a successful parse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Parsed {
+    /// Normal options.
+    Args(CliArgs),
+    /// `-h`/`--help` was present; the caller should print usage and stop.
+    HelpRequested,
+}
+
+fn usage(example: &str) -> String {
+    format!(
+        "usage: cargo run --release --example {example} -- [options]\n\
+         \n\
+         options:\n\
+         \x20 -j, --parallelism N   prober worker threads (default: all cores)\n\
+         \x20 -b, --backend KIND    conv backend: direct | gemm | sparse (default: gemm)\n\
+         \x20 -o, --obs PATH        enable telemetry; write summary JSON to PATH and a\n\
+         \x20                       Chrome trace (load in chrome://tracing) next to it\n\
+         \x20 -h, --help            show this help"
+    )
+}
+
+/// Enables and clears telemetry if `-o` was given. Call before the workload.
+pub fn obs_begin(args: &CliArgs) {
+    if args.telemetry() {
+        hd_obs::reset();
+        hd_obs::set_enabled(true);
+    }
+}
+
+/// Disables telemetry and writes the three exports if `-o` was given:
+/// the summary table to stdout, stable-schema JSON to the `-o` path, and a
+/// Chrome trace next to it. Call after the workload.
+pub fn obs_finish(args: &CliArgs) {
+    let Some(path) = &args.obs_out else {
+        return;
+    };
+    hd_obs::set_enabled(false);
+    let snap = hd_obs::snapshot();
+    print!("{}", snap.summary_table());
+    write_or_die(path, &snap.to_json());
+    let trace_path = chrome_trace_path(path);
+    write_or_die(&trace_path, &snap.to_chrome_trace());
+    println!(
+        "telemetry: JSON -> {}, Chrome trace -> {}",
+        path.display(),
+        trace_path.display()
+    );
+}
+
+/// `obs.json` -> `obs.trace.json`; a path without a `.json` extension gets
+/// `.trace.json` appended.
+pub fn chrome_trace_path(json_path: &Path) -> PathBuf {
+    let name = json_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let stem = name.strip_suffix(".json").unwrap_or(&name);
+    json_path.with_file_name(format!("{stem}.trace.json"))
+}
+
+fn write_or_die(path: &Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

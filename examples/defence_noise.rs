@@ -7,8 +7,16 @@
 //! what the defence costs in extra transfer volume.
 //!
 //! ```text
-//! cargo run --release --example defence_noise
+//! cargo run --release --example defence_noise                 # the sweep
+//! cargo run --release --example defence_noise -- -o obs.json  # + telemetry
+//! cargo run --release --example defence_noise -- --help       # all options
 //! ```
+//!
+//! The sweep itself always probes serially (the injected noise stream is
+//! consumed in probe order), so `-j` is accepted but ignored here.
+
+#[path = "common/cli.rs"]
+mod cli;
 
 use huffduff::prelude::*;
 use huffduff_core::eval::score_geometry;
@@ -57,6 +65,8 @@ impl ProbeTarget for NoisyDevice {
 }
 
 fn main() {
+    let args = cli::CliArgs::parse("defence_noise");
+
     // A small victim so the sweep stays quick.
     let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
     let x = b.input();
@@ -76,25 +86,32 @@ fn main() {
     };
     hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 5);
 
+    let accel = AccelConfig::builder()
+        .conv_backend(args.backend_or_default())
+        .build()
+        .expect("valid accelerator config");
+
+    cli::obs_begin(&args);
     println!("noise(B)  probes  geometry-exact");
     for noise in [0u64, 2, 8, 32, 128] {
         let target = NoisyDevice {
-            inner: Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2()),
+            inner: Device::new(net.clone(), params.clone(), accel.clone()),
             noise_bytes: noise,
             rng: Mutex::new(StdRng::seed_from_u64(noise ^ 0xD1CE)),
         };
-        let cfg = ProberConfig {
-            shifts: 12,
-            max_probes: 12,
-            stable_probes: 3,
-            kernels: vec![1, 3, 5],
-            strides: vec![1, 2],
-            pools: vec![2, 3],
-            seed: 31,
+        let cfg = ProberConfig::builder()
+            .shifts(12)
+            .max_probes(12)
+            .stable_probes(3)
+            .kernels(vec![1, 3, 5])
+            .strides(vec![1, 2])
+            .pools(vec![2, 3])
+            .seed(31)
             // The injected noise stream is consumed in probe order, so
             // keep this target on the serial path for reproducibility.
-            parallelism: Some(1),
-        };
+            .parallelism(Some(1))
+            .build()
+            .expect("valid prober config");
         let res = probe(&target, &cfg).expect("probe runs");
         let score = score_geometry(&net, &res);
         println!(
@@ -102,6 +119,7 @@ fn main() {
             res.probes_used, score.correct, score.total
         );
     }
+    cli::obs_finish(&args);
     println!();
     println!("volume noise violates the one-sided-error assumption: patterns");
     println!("that should merge get split, so more probes make things worse,");

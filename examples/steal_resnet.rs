@@ -12,37 +12,25 @@
 //! cargo run --release --example steal_resnet                 # all cores, GEMM
 //! cargo run --release --example steal_resnet -- -j 1         # serial baseline
 //! cargo run --release --example steal_resnet -- -b direct    # direct conv loop
+//! cargo run --release --example steal_resnet -- -o obs.json  # telemetry export
+//! cargo run --release --example steal_resnet -- --help       # all options
 //! ```
 //!
-//! The `-j N` flag caps the prober's worker threads and `-b direct|gemm|sparse`
-//! selects the simulator's convolution backend; any combination produces a
-//! bit-identical result (the executor and all backends are deterministic),
-//! only wall-clock changes.
+//! `-j N` caps the prober's worker threads and `-b` selects the simulator's
+//! convolution backend; any combination produces a bit-identical result
+//! (the executor and all backends are deterministic), only wall-clock
+//! changes. `-o obs.json` records hd-obs telemetry into JSON plus a Chrome
+//! trace without affecting the outcome.
 
-use hd_tensor::ConvBackend;
+#[path = "common/cli.rs"]
+mod cli;
+
 use huffduff::prelude::*;
 use huffduff_core::eval::{expected_kinds, score_geometry};
 
-/// Parses `-j N` / `--parallelism N` from the command line.
-fn parallelism_arg() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "-j" || a == "--parallelism")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-/// Parses `-b direct|gemm|sparse` / `--backend direct|gemm|sparse` from the command line.
-fn backend_arg() -> ConvBackend {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "-b" || a == "--backend")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| ConvBackend::parse(v).unwrap_or_else(|| panic!("unknown backend {v:?}")))
-        .unwrap_or_default()
-}
-
 fn main() {
+    let args = cli::CliArgs::parse("steal_resnet");
+
     let net = hd_dnn::zoo::resnet18(10);
     let mut params = hd_dnn::graph::Params::init(&net, 4);
     let profile = hd_dnn::prune::paper_profile(&net);
@@ -53,16 +41,22 @@ fn main() {
         net.sparse_weight_count(&params)
     );
 
-    let backend = backend_arg();
-    let device = Device::new(
-        net.clone(),
-        params,
-        AccelConfig::eyeriss_v2().with_conv_backend(backend),
-    );
+    let backend = args.backend_or_default();
+    let accel = AccelConfig::builder()
+        .conv_backend(backend)
+        .build()
+        .expect("valid accelerator config");
+    let device = Device::new(net.clone(), params, accel);
 
-    let parallelism = parallelism_arg();
-    let mut cfg = huffduff_core::AttackConfig::default();
-    cfg.prober = cfg.prober.with_parallelism(parallelism);
+    let cfg = huffduff_core::AttackConfig::builder()
+        .prober(
+            huffduff_core::ProberConfig::builder()
+                .parallelism(args.parallelism)
+                .build()
+                .expect("valid prober config"),
+        )
+        .build()
+        .expect("valid attack config");
     println!(
         "prober workers: {} ({} probe inferences fan out per family), conv backend: {}",
         cfg.prober.effective_parallelism(cfg.prober.shifts),
@@ -70,9 +64,11 @@ fn main() {
         backend
     );
 
+    cli::obs_begin(&args);
     let t0 = std::time::Instant::now();
     let outcome = huffduff_core::run(&device, &cfg).expect("attack runs");
     println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
+    cli::obs_finish(&args);
     println!("{}", outcome.prober.report());
 
     // Point-estimate accuracy and candidate-set coverage.

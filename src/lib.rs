@@ -34,6 +34,7 @@ pub use hd_accel as accel;
 pub use hd_adversarial as adversarial;
 pub use hd_dnn as dnn;
 pub use hd_num as num;
+pub use hd_obs as obs;
 pub use hd_tensor as tensor;
 pub use hd_trace as trace;
 pub use huffduff_core as attack_crate;
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use hd_adversarial::{self};
     pub use hd_dnn::{self};
     pub use hd_num::{BigUint, LogCount};
+    pub use hd_obs::{self};
     pub use hd_tensor::{self, Tensor3, Tensor4};
     pub use hd_trace::{self};
     pub use huffduff_core::{self};

@@ -10,11 +10,19 @@
 use hd_tensor::ConvBackend;
 use huffduff::prelude::*;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/golden_trace.txt"
 );
+
+const OBS_FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_obs.txt");
+
+/// Serializes tests that run the device: the telemetry test flips the global
+/// `hd_obs` enable flag, and a concurrent `device.run` from another test
+/// would pollute its counters.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// Seed-pinned pruned victim: two convs (stride 1 and 2), pool, head.
 fn golden_victim() -> (hd_dnn::graph::Network, hd_dnn::graph::Params) {
@@ -84,8 +92,82 @@ fn snapshot(backend: ConvBackend) -> String {
     s
 }
 
+/// Renders the deterministic slice of a telemetry snapshot: counter values,
+/// histogram counts (plus min/max for the deterministic picosecond-domain
+/// encode histogram), and span counts per `(name, label)`. Wall-clock
+/// durations and f64 sums are deliberately excluded.
+fn telemetry_snapshot_text(snap: &hd_obs::Snapshot) -> String {
+    let mut s = String::from("== counters ==\nname,label,value\n");
+    for c in &snap.counters {
+        writeln!(s, "{},{},{}", c.name, c.label, c.value).unwrap();
+    }
+    s.push_str("== histograms ==\nname,label,count,min,max\n");
+    for h in &snap.hists {
+        // Only `device.encode.duration_ps` samples simulated time
+        // (deterministic); anything else samples wall-clock.
+        if h.name == "device.encode.duration_ps" {
+            writeln!(s, "{},{},{},{},{}", h.name, h.label, h.count, h.min, h.max).unwrap();
+        } else {
+            writeln!(s, "{},{},{},-,-", h.name, h.label, h.count).unwrap();
+        }
+    }
+    s.push_str("== spans ==\nname,label,count\n");
+    let mut span_counts = std::collections::BTreeMap::new();
+    for sp in &snap.spans {
+        *span_counts
+            .entry((sp.name.clone(), sp.label.clone()))
+            .or_insert(0u64) += 1;
+    }
+    for ((name, label), count) in span_counts {
+        writeln!(s, "{name},{label},{count}").unwrap();
+    }
+    s
+}
+
+#[test]
+fn golden_telemetry_counters_pinned() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    hd_obs::reset();
+    hd_obs::set_enabled(true);
+    let (net, params) = golden_victim();
+    let device = Device::new(
+        net,
+        params,
+        AccelConfig::eyeriss_v2().with_conv_backend(ConvBackend::Im2colGemm),
+    );
+    for (_, img) in golden_images() {
+        device.run(&img);
+    }
+    hd_obs::set_enabled(false);
+    let snap = hd_obs::snapshot();
+    hd_obs::reset();
+    let got = telemetry_snapshot_text(&snap);
+
+    // Structural floor, independent of the fixture: every telemetry family
+    // the device emits must be present.
+    assert!(snap.counter_total("dram.read.bytes") > 0);
+    assert!(snap.counter_total("dram.write.bytes") > 0);
+    assert!(snap.counter_total("device.compute.cycles") > 0);
+    assert_eq!(snap.span_count("device.run"), 2);
+    assert!(snap.span_count("device.layer") > 0);
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(OBS_FIXTURE, &got).expect("write telemetry fixture");
+        eprintln!("regenerated {OBS_FIXTURE}");
+        return;
+    }
+    let want = std::fs::read_to_string(OBS_FIXTURE)
+        .expect("telemetry fixture missing; run with GOLDEN_REGEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "device telemetry drifted from the golden fixture; if intentional, \
+         regenerate with GOLDEN_REGEN=1 and review the diff"
+    );
+}
+
 #[test]
 fn golden_fixture_reproduced_by_all_backends() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let direct = snapshot(ConvBackend::Direct);
     let gemm = snapshot(ConvBackend::Im2colGemm);
     let sparse = snapshot(ConvBackend::SparseCsc);
