@@ -1,6 +1,7 @@
 //! Accelerator and DRAM configuration.
 
 use crate::defence::Defence;
+use hd_tensor::cast;
 use hd_tensor::{BackendPolicy, CompressionScheme, ConvBackend};
 use std::fmt;
 
@@ -170,6 +171,12 @@ pub enum ConfigError {
         /// The rejected value.
         got: f64,
     },
+    /// The configuration is self-consistent but rejects the model it was
+    /// built for (see [`AccelConfigBuilder::build_for`]).
+    Model {
+        /// The verifier's findings, in node order.
+        diagnostics: Vec<hd_dnn::verify::Diagnostic>,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -181,6 +188,13 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroField { field } => write!(f, "{field} must be nonzero"),
             ConfigError::NonPositiveRate { field, got } => {
                 write!(f, "{field} must be positive and finite, got {got}")
+            }
+            ConfigError::Model { diagnostics } => {
+                write!(f, "configuration rejects the model:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -312,11 +326,11 @@ impl AccelConfigBuilder {
             channels: self.dram_channels,
         };
         for (field, value) in [
-            ("glb_banks", cfg.glb_banks as u64),
-            ("bank_words", cfg.bank_words as u64),
-            ("acc_bits", cfg.acc_bits as u64),
-            ("act_bits", cfg.act_bits as u64),
-            ("weight_bits", cfg.weight_bits as u64),
+            ("glb_banks", cast::usize_to_u64(cfg.glb_banks)),
+            ("bank_words", cast::usize_to_u64(cfg.bank_words)),
+            ("acc_bits", u64::from(cfg.acc_bits)),
+            ("act_bits", u64::from(cfg.act_bits)),
+            ("weight_bits", u64::from(cfg.weight_bits)),
             ("burst_bytes", cfg.burst_bytes),
         ] {
             if value == 0 {
@@ -332,6 +346,31 @@ impl AccelConfigBuilder {
                 return Err(ConfigError::NonPositiveRate { field, got: value });
             }
         }
+        Ok(cfg)
+    }
+
+    /// [`build`](AccelConfigBuilder::build), then statically verifies the
+    /// configuration against the network it will execute (and its params,
+    /// when available): shape consistency, weight-buffer pass counts, and
+    /// backend preconditions — the same pass [`crate::Device::try_new`]
+    /// runs, surfaced at configuration time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's own [`ConfigError`]s first; then
+    /// [`ConfigError::Model`] carrying the verifier's diagnostics if the
+    /// config rejects the network.
+    pub fn build_for(
+        self,
+        net: &hd_dnn::Network,
+        params: Option<&hd_dnn::Params>,
+    ) -> Result<AccelConfig, ConfigError> {
+        let cfg = self.build()?;
+        hd_dnn::verify::verify_strict(net, params, &cfg.verify_limits()).map_err(|e| {
+            ConfigError::Model {
+                diagnostics: e.diagnostics,
+            }
+        })?;
         Ok(cfg)
     }
 }
@@ -449,6 +488,24 @@ impl AccelConfig {
     /// Bytes occupied by one dense psum element.
     pub fn acc_bytes(&self) -> f64 {
         self.acc_bits as f64 / 8.0
+    }
+
+    /// Lowers this configuration into the capacity limits and backend
+    /// requirements [`hd_dnn::verify`] checks a network against.
+    ///
+    /// The pass ceiling of 64 tolerates every tiled schedule the simulator
+    /// models (the zoo's largest layer needs ~21 passes through the
+    /// Eyeriss-v2 weight buffer) while rejecting config/model pairings
+    /// whose re-read traffic would dwarf the computation.
+    pub fn verify_limits(&self) -> hd_dnn::verify::Limits {
+        hd_dnn::verify::Limits {
+            weight_glb_bytes: Some(self.weight_glb_bytes),
+            weight_bits: self.weight_bits,
+            weight_scheme: self.weight_scheme,
+            max_weight_passes: 64,
+            require_sparse_eligible: self.conv_backend == ConvBackend::SparseCsc
+                || self.backend_policy.auto_sparse,
+        }
     }
 }
 

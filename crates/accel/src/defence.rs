@@ -15,6 +15,7 @@
 //!   property the prober relies on, but the paper notes repeated trials
 //!   could average it out.
 
+use hd_tensor::cast;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Device-side volume-channel countermeasure.
@@ -101,7 +102,7 @@ impl NoiseState {
                 x ^= x << 17;
                 x
             })
-            .expect("fetch_update closure never returns None");
+            .expect("fetch_update closure never returns None"); // hd-lint: allow(no-panic) -- the closure is Some-total, so fetch_update cannot fail
         if max == 0 {
             0
         } else {
@@ -123,7 +124,9 @@ pub fn defence_padding_bytes(
 ) -> u64 {
     match defence {
         Defence::None => 0,
-        Defence::PadEdges { .. } => (edge_zero_cells as u64 * elem_bits as u64).div_ceil(8),
+        Defence::PadEdges { .. } => {
+            (cast::usize_to_u64(edge_zero_cells) * u64::from(elem_bits)).div_ceil(8)
+        }
         Defence::RandomZeros { max_bytes, .. } => noise.next_padding(*max_bytes),
     }
 }

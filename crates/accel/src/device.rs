@@ -13,6 +13,7 @@ use crate::encoder::{encode_timing, EncodeTiming};
 use crate::trace_event::{AccessKind, Trace, TraceEvent};
 use hd_dnn::graph::{ForwardTrace, Network, NodeId, Op, Params, Value};
 use hd_dnn::ForwardCache;
+use hd_tensor::cast;
 use hd_tensor::{ConvBackend, Tensor3};
 use std::fmt;
 use std::sync::OnceLock;
@@ -97,8 +98,51 @@ pub struct Oracle<'a> {
 }
 
 impl Device {
-    /// Seals `net`/`params` inside a device with the given configuration.
+    /// Seals `net`/`params` inside a device with the given configuration,
+    /// statically verifying the graph first (see [`hd_dnn::verify`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full diagnostic list if verification rejects the
+    /// graph. `#[track_caller]` pins the panic to the call site. Use
+    /// [`Device::try_new`] for the non-panicking variant, or
+    /// [`Device::new_unchecked`] to skip verification entirely (malformed
+    /// graphs then surface as [`DeviceError`]s from [`Device::try_run`]).
+    #[track_caller]
     pub fn new(net: Network, params: Params, cfg: AccelConfig) -> Self {
+        match Device::try_new(net, params, cfg) {
+            Ok(dev) => dev,
+            // hd-lint: allow(no-panic) -- documented #[track_caller] wrapper; try_new is the fallible form
+            Err(e) => panic!("rejected malformed network: {e}"),
+        }
+    }
+
+    /// Verifying constructor: runs [`hd_dnn::verify::verify_strict`] over
+    /// the graph, params, and config-derived [`Limits`]
+    /// (`hd_dnn::verify::Limits`) before sealing the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's full diagnostic list when the graph cannot
+    /// execute correctly on this configuration: shape inconsistencies,
+    /// topology violations, param/geometry disagreements, or weight
+    /// buffer pass-count overflows.
+    pub fn try_new(
+        net: Network,
+        params: Params,
+        cfg: AccelConfig,
+    ) -> Result<Self, hd_dnn::verify::VerifyError> {
+        hd_dnn::verify::verify_strict(&net, Some(&params), &cfg.verify_limits())?;
+        Ok(Device::new_unchecked(net, params, cfg))
+    }
+
+    /// Seals `net`/`params` without static verification.
+    ///
+    /// Exists for tests that deliberately build malformed graphs (via
+    /// `Network::from_raw_parts`) to exercise the device's late typed
+    /// errors; everything else should use [`Device::new`] or
+    /// [`Device::try_new`].
+    pub fn new_unchecked(net: Network, params: Params, cfg: AccelConfig) -> Self {
         // Statically place weights: one region per weighted node.
         let mut weight_regions = vec![None; net.len()];
         let mut cursor = WEIGHT_BASE;
@@ -196,6 +240,7 @@ impl Device {
     pub fn run(&self, image: &Tensor3) -> Trace {
         match self.try_run(image) {
             Ok(trace) => trace,
+            // hd-lint: allow(no-panic) -- documented #[track_caller] wrapper; the try_ variant is the fallible form
             Err(e) => panic!("device simulation failed: {e}"),
         }
     }
@@ -309,8 +354,9 @@ impl Device {
             //     P*Q*K exactly (paper §2, "Broader application").
             if self.cfg.separate_batch_norm {
                 if let Some(pre_bn) = &trace.traces[id].pre_bn {
-                    let dense_bytes =
-                        (pre_bn.data().len() as u64 * self.cfg.act_bits as u64).div_ceil(8);
+                    let dense_bytes = (cast::usize_to_u64(pre_bn.data().len())
+                        * u64::from(self.cfg.act_bits))
+                    .div_ceil(8);
                     let psum_region = allocator.alloc(dense_bytes);
                     t = self.emit_stream(
                         &mut out,
@@ -339,7 +385,7 @@ impl Device {
             // 4) Encode + writeback phase: the timing side channel.
             let out_value = &trace.traces[id].out;
             let out_bytes = self.value_transfer_bytes(out_value, &noise);
-            let psum_elems = out_value.flat().len() as u64;
+            let psum_elems = cast::usize_to_u64(out_value.flat().len());
             let timing = encode_timing(&self.cfg, psum_elems, out_bytes);
             hd_obs::observe(
                 "device.encode.duration_ps",
@@ -378,7 +424,7 @@ impl Device {
             }
             let out_value = &trace.traces[id].out;
             let out_bytes = self.value_transfer_bytes(out_value, &noise);
-            let psum_elems = out_value.flat().len() as u64;
+            let psum_elems = cast::usize_to_u64(out_value.flat().len());
             v.push((id, encode_timing(&self.cfg, psum_elems, out_bytes)));
         }
         v
@@ -397,6 +443,7 @@ impl Device {
     ) -> crate::energy::EnergyReport {
         match self.try_energy_estimate(image, model) {
             Ok(report) => report,
+            // hd-lint: allow(no-panic) -- documented #[track_caller] wrapper; the try_ variant is the fallible form
             Err(e) => panic!("device simulation failed: {e}"),
         }
     }
@@ -456,9 +503,11 @@ impl Device {
         hd_obs::counter_add(
             "device.compute.cycles",
             self.net.name(id),
-            cycles.round() as u64,
+            cast::f64_round_to_u64(cycles),
         );
-        Ok((cycles / (self.cfg.freq_mhz * 1e6) * 1e12).round() as u64)
+        Ok(cast::f64_round_to_u64(
+            cycles / (self.cfg.freq_mhz * 1e6) * 1e12,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -484,7 +533,7 @@ impl Device {
             } else {
                 i as f64 / (n_bursts - 1) as f64
             };
-            let time_ps = start_ps + offset_ps + (frac * window as f64).round() as u64;
+            let time_ps = start_ps + offset_ps + cast::f64_round_to_u64(frac * window as f64);
             let this_bytes = burst.min(bytes - i * burst);
             out.events.push(TraceEvent {
                 time_ps,
@@ -570,7 +619,7 @@ fn fnv1a_f32(data: &[f32]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for v in data {
         for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
     }
@@ -578,7 +627,7 @@ fn fnv1a_f32(data: &[f32]) -> u64 {
 }
 
 fn bytes_duration_ps(bytes: u64, bw_bytes_per_sec: f64) -> u64 {
-    (bytes as f64 / bw_bytes_per_sec * 1e12).round() as u64
+    cast::f64_round_to_u64(bytes as f64 / bw_bytes_per_sec * 1e12)
 }
 
 /// Compressed transfer size of a node's weights (plus its small dense
@@ -592,10 +641,10 @@ fn weight_transfer_bytes(net: &Network, params: &Params, cfg: &AccelConfig, id: 
                 .encoded_size(p.w.data(), cfg.weight_bits)
                 .bytes;
             if let Some(b) = p.b {
-                bytes += b.len() as u64 * 4;
+                bytes += cast::usize_to_u64(b.len()) * 4;
             }
             if let Some(bn) = p.bn {
-                bytes += bn.channels() as u64 * 8;
+                bytes += cast::usize_to_u64(bn.channels()) * 8;
             }
             bytes
         }
@@ -606,13 +655,14 @@ fn weight_transfer_bytes(net: &Network, params: &Params, cfg: &AccelConfig, id: 
                 .encoded_size(p.w.data(), cfg.weight_bits)
                 .bytes;
             if let Some(bn) = p.bn {
-                bytes += bn.channels() as u64 * 8;
+                bytes += cast::usize_to_u64(bn.channels()) * 8;
             }
             bytes
         }
         Op::Linear { .. } => {
             let p = params.linear(id);
-            cfg.weight_scheme.encoded_size(p.w, cfg.weight_bits).bytes + p.b.len() as u64 * 4
+            cfg.weight_scheme.encoded_size(p.w, cfg.weight_bits).bytes
+                + cast::usize_to_u64(p.b.len()) * 4
         }
         _ => 0,
     }
@@ -906,7 +956,7 @@ mod tests {
             vec!["input0".into(), "input1".into(), "conv2".into()],
         );
         let params = Params::init(&net, 1);
-        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let dev = Device::new_unchecked(net, params, AccelConfig::eyeriss_v2());
         let err = dev.try_run(&Tensor3::full(2, 8, 8, 0.5)).unwrap_err();
         assert_eq!(err, DeviceError::MissingProducer { node: 2, input: 1 });
         assert!(err.to_string().contains("no DRAM region"));
@@ -936,7 +986,7 @@ mod tests {
             vec!["input0".into(), "conv1".into()],
         );
         let params = Params::init(&net, 1);
-        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let dev = Device::new_unchecked(net, params, AccelConfig::eyeriss_v2());
         let img = Tensor3::full(2, 8, 8, 0.5);
         let err = dev.try_run(&img).unwrap_err();
         assert_eq!(err, DeviceError::NotAMap { node: 1 });
@@ -976,7 +1026,7 @@ mod tests {
             vec!["input0".into(), "input1".into(), "conv2".into()],
         );
         let params = Params::init(&net, 1);
-        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let dev = Device::new_unchecked(net, params, AccelConfig::eyeriss_v2());
         let _ = dev.run(&Tensor3::full(2, 8, 8, 0.5));
     }
 }

@@ -15,6 +15,7 @@
 //! side channel HuffDuff uses to recover output channel counts.
 
 use crate::config::AccelConfig;
+use hd_tensor::cast;
 
 /// Which side limits the encode pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,11 +94,11 @@ pub fn encode_timing(cfg: &AccelConfig, psum_elems: u64, compressed_bytes: u64) 
     };
 
     EncodeTiming {
-        duration_ps: (duration * 1e12).round() as u64,
-        first_write_offset_ps: (first_offset * 1e12).round() as u64,
+        duration_ps: cast::f64_round_to_u64(duration * 1e12),
+        first_write_offset_ps: cast::f64_round_to_u64(first_offset * 1e12),
         bound,
-        glb_time_ps: (glb_time * 1e12).round() as u64,
-        dram_time_ps: (dram_time * 1e12).round() as u64,
+        glb_time_ps: cast::f64_round_to_u64(glb_time * 1e12),
+        dram_time_ps: cast::f64_round_to_u64(dram_time * 1e12),
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::config::AccelConfig;
 use crate::encoder::EncodeBound;
+use hd_tensor::cast;
 
 /// Result of the event-level pipeline simulation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,13 +47,13 @@ impl PipelineResult {
 ///
 /// Panics if the configuration has a zero-size GLB row or zero bandwidth.
 pub fn simulate_drain(cfg: &AccelConfig, psum_elems: u64, compressed_bytes: u64) -> PipelineResult {
-    let row_elems = (cfg.glb_banks * cfg.bank_words) as u64;
+    let row_elems = cast::usize_to_u64(cfg.glb_banks * cfg.bank_words);
     assert!(row_elems > 0, "GLB row must hold at least one element");
     let dram_bw = cfg.dram.bandwidth_bytes_per_sec();
     assert!(dram_bw > 0.0, "DRAM bandwidth must be positive");
 
-    let cycle_ps = (1e6 / (cfg.freq_mhz * cfg.glb_bandwidth_scale)).round() as u64; // ps per row read
-    let burst_ps = (cfg.burst_bytes as f64 / dram_bw * 1e12).round() as u64;
+    let cycle_ps = cast::f64_round_to_u64(1e6 / (cfg.freq_mhz * cfg.glb_bandwidth_scale)); // ps per row read
+    let burst_ps = cast::f64_round_to_u64(cfg.burst_bytes as f64 / dram_bw * 1e12);
 
     let rows = psum_elems.div_ceil(row_elems).max(1);
     let bytes_per_row = compressed_bytes as f64 / rows as f64;

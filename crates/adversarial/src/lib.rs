@@ -151,7 +151,7 @@ pub fn least_likely_label(net: &Network, params: &Params, image: &Tensor3) -> us
     logits
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }

@@ -92,10 +92,10 @@ pub fn decode(rows: &[Vec<Sym>]) -> Option<Anm> {
         .iter()
         .max_by_key(|(_, &c)| c)
         .map(|(v, _)| v)
-        .expect("non-empty row");
-    // Agreed suffix: positions all rows share from the right (untouched
-    // background plus right-edge constants); the sliding feature never
-    // lives there for the shifts examined.
+        .expect("non-empty row"); // hd-lint: allow(no-panic) -- rows[0] is non-empty (w > 0 checked by caller)
+                                  // Agreed suffix: positions all rows share from the right (untouched
+                                  // background plus right-edge constants); the sliding feature never
+                                  // lives there for the shifts examined.
     let mut suffix = 0;
     'suf: for i in (m..w).rev() {
         for r in &rows[1..] {

@@ -58,12 +58,6 @@ pub mod solution;
 pub mod symbolic;
 pub mod timing;
 
-/// The pre-rename path of [`boundary_obs`] (the module measures
-/// *boundary-effect* observability; the old name collided with the `hd-obs`
-/// telemetry crate once that existed).
-#[deprecated(since = "0.1.0", note = "renamed to `boundary_obs`")]
-pub use boundary_obs as observability;
-
 pub use attack::{run, AttackConfig, AttackConfigBuilder, AttackError, AttackOutcome};
 pub use pattern::Pattern;
 pub use prober::{

@@ -463,12 +463,13 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
         bytes_per_family.push(bytes_this);
 
         // Refine patterns layer by layer.
+        // hd-lint: allow(no-panic) -- set on the first loop iteration, and the loop runs at least once
         let n_layers = structure.as_ref().unwrap().layers.len();
         let mut changed = false;
         for l in 0..n_layers {
             let series: Vec<u64> = bytes_per_family
                 .last()
-                .unwrap()
+                .unwrap() // hd-lint: allow(no-panic) -- pushed to just above, never empty here
                 .iter()
                 .map(|per_layer| per_layer[l])
                 .collect();
@@ -494,6 +495,7 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
         }
     }
 
+    // hd-lint: allow(no-panic) -- cfg.max_probes >= 1 is validated, so the probe loop always runs
     let structure = structure.expect("at least one probe ran");
 
     // --- Classify each layer against symbolic hypotheses. ---
@@ -606,18 +608,15 @@ fn run_family(
         let shift_timer = if hd_obs::enabled() {
             Some((
                 hd_obs::span("prober.shift", &idx.to_string()),
-                std::time::Instant::now(),
+                hd_obs::monotonic_us(),
             ))
         } else {
             None
         };
         let analysis = analyze(&target.run_probe(img))?;
         if let Some((_span, t0)) = shift_timer {
-            hd_obs::observe(
-                "prober.shift_latency_us",
-                "",
-                t0.elapsed().as_micros() as f64,
-            );
+            let elapsed_us = hd_obs::monotonic_us().saturating_sub(t0);
+            hd_obs::observe("prober.shift_latency_us", "", elapsed_us as f64);
         }
         Ok(analysis)
     };
@@ -647,6 +646,7 @@ fn run_family(
     });
     slots
         .into_iter()
+        // hd-lint: allow(no-panic) -- the chunked zip covers every slot index exactly once
         .map(|slot| slot.expect("worker filled every slot in its chunk"))
         .collect()
 }

@@ -155,6 +155,7 @@ impl Value {
     pub fn map(&self) -> &Tensor3 {
         match self {
             Value::Map(t) => t,
+            // hd-lint: allow(no-panic) -- documented panicking accessor; callers use as_map for the fallible form
             Value::Vector(_) => panic!("expected activation map, found vector"),
         }
     }
@@ -167,6 +168,7 @@ impl Value {
     pub fn vector(&self) -> &[f32] {
         match self {
             Value::Vector(v) => v,
+            // hd-lint: allow(no-panic) -- documented panicking accessor; callers use as_vector for the fallible form
             Value::Map(_) => panic!("expected vector, found activation map"),
         }
     }
@@ -537,6 +539,7 @@ impl ForwardTrace {
     ///
     /// Panics if the final node does not produce a vector.
     pub fn logits(&self) -> &[f32] {
+        // hd-lint: allow(no-panic) -- documented above: networks are non-empty by NetworkBuilder construction
         self.traces.last().expect("empty network").out.vector()
     }
 
@@ -546,7 +549,7 @@ impl ForwardTrace {
         logits
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -665,7 +668,7 @@ impl Params {
                     let in_c = net
                         .value_shape(node.inputs[0])
                         .as_map()
-                        .expect("conv input must be a map")
+                        .expect("conv input must be a map") // hd-lint: allow(no-panic) -- NetworkBuilder only wires conv nodes to map-producing inputs
                         .c;
                     let mut w = Tensor4::zeros(spec.out_channels, in_c, spec.kernel, spec.kernel);
                     w.init_he(&mut rng);
@@ -691,7 +694,7 @@ impl Params {
                     let in_c = net
                         .value_shape(node.inputs[0])
                         .as_map()
-                        .expect("dwconv input must be a map")
+                        .expect("dwconv input must be a map") // hd-lint: allow(no-panic) -- NetworkBuilder only wires dwconv nodes to map-producing inputs
                         .c;
                     let mut w = Tensor4::zeros(in_c, 1, *kernel, *kernel);
                     w.init_he(&mut rng);
@@ -736,6 +739,7 @@ impl Params {
     pub fn conv(&self, id: NodeId) -> ConvView<'_> {
         match &self.layers[id] {
             Some(LayerParams::Conv { w, b, bn }) => ConvView { w, b, bn },
+            // hd-lint: allow(no-panic) -- documented panicking view; geometry was checked by the caller
             other => panic!("node {id} is not a conv layer: {other:?}"),
         }
     }
@@ -748,6 +752,7 @@ impl Params {
     pub fn dwconv(&self, id: NodeId) -> DwConvView<'_> {
         match &self.layers[id] {
             Some(LayerParams::DwConv { w, bn }) => DwConvView { w, bn },
+            // hd-lint: allow(no-panic) -- documented panicking view; geometry was checked by the caller
             other => panic!("node {id} is not a depthwise conv layer: {other:?}"),
         }
     }
@@ -770,6 +775,7 @@ impl Params {
                 in_features: *in_features,
                 out_features: *out_features,
             },
+            // hd-lint: allow(no-panic) -- documented panicking view; geometry was checked by the caller
             other => panic!("node {id} is not a linear layer: {other:?}"),
         }
     }
@@ -835,6 +841,7 @@ impl NetworkBuilder {
     fn map_shape(&self, id: NodeId) -> Shape3 {
         self.shapes[id]
             .as_map()
+            // hd-lint: allow(no-panic) -- builder-internal: every op below requires a map-producing input
             .unwrap_or_else(|| panic!("node {id} does not produce an activation map"))
     }
 

@@ -39,6 +39,7 @@ pub mod io;
 pub mod prune;
 pub mod sparse_forward;
 pub mod train;
+pub mod verify;
 pub mod zoo;
 
 pub use graph::{ConvSpec, Network, NetworkBuilder, NodeId, Op, Params};

@@ -100,12 +100,12 @@ impl ForwardCache {
 /// it in.
 fn conv_baseline(trace: &NodeTrace, has_bn: bool, has_relu: bool) -> &Tensor3 {
     if has_bn {
-        trace.pre_bn.as_ref().expect("BN node keeps pre_bn")
+        trace.pre_bn.as_ref().expect("BN node keeps pre_bn") // hd-lint: allow(no-panic) -- forward() populates pre_bn for every BN-bearing node
     } else if has_relu {
         trace
             .pre_relu
             .as_ref()
-            .expect("ReLU node keeps pre_relu")
+            .expect("ReLU node keeps pre_relu") // hd-lint: allow(no-panic) -- forward() populates pre_relu for every ReLU-bearing node
             .map()
     } else {
         trace.out.map()
@@ -118,7 +118,7 @@ fn bn_baseline(trace: &NodeTrace, has_relu: bool) -> &Tensor3 {
         trace
             .pre_relu
             .as_ref()
-            .expect("ReLU node keeps pre_relu")
+            .expect("ReLU node keeps pre_relu") // hd-lint: allow(no-panic) -- forward() populates pre_relu for every ReLU-bearing node
             .map()
     } else {
         trace.out.map()
@@ -234,9 +234,9 @@ impl Network {
                 ),
                 Op::Conv(spec) => {
                     let x = traces[node.inputs[0]].out.map();
-                    let in_span = spans[node.inputs[0]].expect("conv input is a map");
+                    let in_span = spans[node.inputs[0]].expect("conv input is a map"); // hd-lint: allow(no-panic) -- topology validated by Network construction; map inputs carry spans
                     let lp = params.conv(id);
-                    let csc = cache.csc[id].as_ref().expect("conv weights cached");
+                    let csc = cache.csc[id].as_ref().expect("conv weights cached"); // hd-lint: allow(no-panic) -- cache is built for every conv node up front
                     let cfg = Conv2dCfg::new(spec.stride, spec.padding);
                     let conv_out = conv2d_csc(
                         x,
@@ -291,7 +291,7 @@ impl Network {
                     // recompute them fully with the ordinary kernels and
                     // keep propagating the receptive-field interval.
                     let x = traces[node.inputs[0]].out.map();
-                    let in_span = spans[node.inputs[0]].expect("dwconv input is a map");
+                    let in_span = spans[node.inputs[0]].expect("dwconv input is a map"); // hd-lint: allow(no-panic) -- topology validated by Network construction; map inputs carry spans
                     let lp = params.dwconv(id);
                     let cfg = Conv2dCfg::new(*stride, Padding::Same);
                     let conv_out = dwconv2d(x, lp.w, &cfg);
@@ -322,7 +322,7 @@ impl Network {
                 }
                 Op::Pool { factor, kind } => {
                     let x = traces[node.inputs[0]].out.map();
-                    let in_span = spans[node.inputs[0]].expect("pool input is a map");
+                    let in_span = spans[node.inputs[0]].expect("pool input is a map"); // hd-lint: allow(no-panic) -- topology validated by Network construction; map inputs carry spans
                     let out_w = if *factor == 1 { x.w() } else { x.w() / *factor };
                     let out_span = in_span.pool(*factor, out_w);
                     let out = pool2d_cols(x, *factor, *kind, out_span, base.out.map());
@@ -339,8 +339,8 @@ impl Network {
                     let a = traces[node.inputs[0]].out.map();
                     let b = traces[node.inputs[1]].out.map();
                     let span = spans[node.inputs[0]]
-                        .expect("add input is a map")
-                        .union(spans[node.inputs[1]].expect("add input is a map"));
+                        .expect("add input is a map") // hd-lint: allow(no-panic) -- topology validated by Network construction; map inputs carry spans
+                        .union(spans[node.inputs[1]].expect("add input is a map")); // hd-lint: allow(no-panic) -- topology validated by Network construction; map inputs carry spans
                     let sum = add_cols(a, b, span, bn_baseline(base, *relu));
                     let (pre_relu, out) = if *relu {
                         let o = relu_cols(&sum, span, base.out.map());
@@ -385,7 +385,7 @@ impl Network {
                     assert_eq!(lp.in_features, x.len(), "linear input size mismatch");
                     let rows = cache.linear_rows[id]
                         .as_ref()
-                        .expect("linear weights cached");
+                        .expect("linear weights cached"); // hd-lint: allow(no-panic) -- cache is built for every linear node up front
                     let mut y = vec![0.0f32; *out_features];
                     for (o, yo) in y.iter_mut().enumerate() {
                         // Ascending-index nonzero list: the same surviving

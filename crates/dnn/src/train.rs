@@ -98,16 +98,16 @@ pub fn backward(
                 });
             }
             Op::Conv(spec) => {
-                let out_shape = net.value_shape(id).as_map().unwrap();
+                let out_shape = net.value_shape(id).as_map().unwrap(); // hd-lint: allow(no-panic) -- this op produces a map by Network construction
                 let mut g = Tensor3::from_vec(out_shape.c, out_shape.h, out_shape.w, g_flat);
                 let tr = &trace.traces[id];
                 if spec.relu {
-                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map());
+                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map()); // hd-lint: allow(no-panic) -- forward() records pre_relu for every ReLU-bearing node
                 }
                 let lp = params.conv(id);
                 let mut bn_grads = None;
                 if let Some(bn) = lp.bn {
-                    let (gi, gs, gb) = bn.backward(&g, tr.pre_bn.as_ref().unwrap());
+                    let (gi, gs, gb) = bn.backward(&g, tr.pre_bn.as_ref().unwrap()); // hd-lint: allow(no-panic) -- forward() records pre_bn for every BN-bearing node
                     g = gi;
                     bn_grads = Some((gs, gb));
                 }
@@ -129,16 +129,16 @@ pub fn backward(
                 relu,
                 ..
             } => {
-                let out_shape = net.value_shape(id).as_map().unwrap();
+                let out_shape = net.value_shape(id).as_map().unwrap(); // hd-lint: allow(no-panic) -- this op produces a map by Network construction
                 let mut g = Tensor3::from_vec(out_shape.c, out_shape.h, out_shape.w, g_flat);
                 let tr = &trace.traces[id];
                 if *relu {
-                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map());
+                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map()); // hd-lint: allow(no-panic) -- forward() records pre_relu for every ReLU-bearing node
                 }
                 let lp = params.dwconv(id);
                 let mut bn_grads = None;
                 if let Some(bn) = lp.bn {
-                    let (gi, gs, gb) = bn.backward(&g, tr.pre_bn.as_ref().unwrap());
+                    let (gi, gs, gb) = bn.backward(&g, tr.pre_bn.as_ref().unwrap()); // hd-lint: allow(no-panic) -- forward() records pre_bn for every BN-bearing node
                     g = gi;
                     bn_grads = Some((gs, gb));
                 }
@@ -153,24 +153,24 @@ pub fn backward(
                 accumulate(&mut grads[node.inputs[0]], gx.data());
             }
             Op::Pool { factor, kind } => {
-                let out_shape = net.value_shape(id).as_map().unwrap();
+                let out_shape = net.value_shape(id).as_map().unwrap(); // hd-lint: allow(no-panic) -- this op produces a map by Network construction
                 let g = Tensor3::from_vec(out_shape.c, out_shape.h, out_shape.w, g_flat);
                 let x = trace.traces[node.inputs[0]].out.map();
                 let gx = pool2d_backward(&g, x, *factor, *kind);
                 accumulate(&mut grads[node.inputs[0]], gx.data());
             }
             Op::Add { relu } => {
-                let out_shape = net.value_shape(id).as_map().unwrap();
+                let out_shape = net.value_shape(id).as_map().unwrap(); // hd-lint: allow(no-panic) -- this op produces a map by Network construction
                 let mut g = Tensor3::from_vec(out_shape.c, out_shape.h, out_shape.w, g_flat);
                 if *relu {
                     let tr = &trace.traces[id];
-                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map());
+                    g = relu_backward(&g, tr.pre_relu.as_ref().unwrap().map()); // hd-lint: allow(no-panic) -- forward() records pre_relu for every ReLU-bearing node
                 }
                 accumulate(&mut grads[node.inputs[0]], g.data());
                 accumulate(&mut grads[node.inputs[1]], g.data());
             }
             Op::GlobalAvgPool => {
-                let in_shape = net.value_shape(node.inputs[0]).as_map().unwrap();
+                let in_shape = net.value_shape(node.inputs[0]).as_map().unwrap(); // hd-lint: allow(no-panic) -- this op produces a map by Network construction
                 let area = (in_shape.h * in_shape.w) as f32;
                 let mut gx = Tensor3::zeros(in_shape.c, in_shape.h, in_shape.w);
                 #[allow(clippy::needless_range_loop)] // index-parallel numeric kernel
@@ -191,7 +191,7 @@ pub fn backward(
                 let tr = &trace.traces[id];
                 let mut g = g_flat;
                 if *relu {
-                    let pre = tr.pre_relu.as_ref().unwrap().vector();
+                    let pre = tr.pre_relu.as_ref().unwrap().vector(); // hd-lint: allow(no-panic) -- forward() records pre_relu for every ReLU-bearing node
                     for (gv, &p) in g.iter_mut().zip(pre) {
                         if p <= 0.0 {
                             *gv = 0.0;
@@ -374,7 +374,7 @@ impl Sgd {
                     sgd_update(w, gw, vw, self.lr, self.momentum, self.weight_decay);
                     sgd_update(b, gb, vb, self.lr, self.momentum, 0.0);
                 }
-                _ => panic!("gradient/parameter kind mismatch at node {id}"),
+                _ => panic!("gradient/parameter kind mismatch at node {id}"), // hd-lint: allow(no-panic) -- gradients are produced from the same Params layout they update
             }
         }
         if let Some(mask) = mask {
@@ -420,7 +420,7 @@ pub fn normalize_init(net: &Network, params: &mut Params, samples: &[hd_tensor::
                 let pre = trace.traces[id]
                     .pre_bn
                     .as_ref()
-                    .expect("batch_norm layers record pre_bn");
+                    .expect("batch_norm layers record pre_bn"); // hd-lint: allow(no-panic) -- forward() records pre_bn for every BN-bearing node
                 let c = pre.c();
                 if mean.is_empty() {
                     mean = vec![0.0; c];
@@ -590,7 +590,7 @@ pub fn accumulate_grads(acc: &mut Grads, other: &Grads) {
                 add_slices(w, ow);
                 add_slices(b, ob);
             }
-            _ => panic!("gradient layout mismatch"),
+            _ => panic!("gradient layout mismatch"), // hd-lint: allow(no-panic) -- gradients are produced from the same Params layout they update
         }
     }
     let scaled = other.input.clone();

@@ -1,0 +1,187 @@
+//! `hd-lint` CLI: workspace source lints plus the static model/config
+//! verifier, with text or stable-schema JSON output.
+//!
+//! ```text
+//! hd-lint --workspace --deny            # lint the whole tree, exit 1 on violations
+//! hd-lint crates/dnn/src/graph.rs       # lint specific files
+//! hd-lint --workspace -o lint.json      # machine-readable report (hd-lint/v1)
+//! hd-lint --models                      # verify zoo models against accelerator presets
+//! ```
+
+use hd_lint::{find_workspace_root, lint_paths, lint_workspace, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hd-lint: static analysis for the HuffDuff workspace
+
+USAGE:
+    hd-lint [OPTIONS] [PATHS...]
+
+OPTIONS:
+    --workspace     lint every workspace .rs file (default when no PATHS given)
+    --deny          exit with status 1 if any violation is found
+    --models        run the static model/config verifier over the model zoo
+                    x accelerator presets instead of source lints
+    --allows        include the accepted-suppression allowlist in text output
+    -o <FILE>       also write the report as JSON (schema hd-lint/v1)
+    -h, --help      print this help
+
+PATHS are workspace-relative .rs files; the workspace root is located by
+walking up from the current directory.";
+
+struct Cli {
+    workspace: bool,
+    deny: bool,
+    models: bool,
+    allows: bool,
+    json_out: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_cli() -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        workspace: false,
+        deny: false,
+        models: false,
+        allows: false,
+        json_out: None,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--workspace" => cli.workspace = true,
+            "--deny" => cli.deny = true,
+            "--models" => cli.models = true,
+            "--allows" => cli.allows = true,
+            "-o" | "--output" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a file path"))?;
+                cli.json_out = Some(PathBuf::from(path));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (see --help)"));
+            }
+            path => cli.paths.push(PathBuf::from(path)),
+        }
+    }
+    if cli.paths.is_empty() {
+        cli.workspace = true;
+    }
+    Ok(Some(cli))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hd-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.models {
+        return verify_models();
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hd-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!(
+            "hd-lint: no workspace root (Cargo.toml + crates/) above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = if cli.workspace && cli.paths.is_empty() {
+        lint_workspace(&root)
+    } else {
+        lint_paths(&root, &cli.paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hd-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.to_text(cli.allows));
+    if let Some(path) = &cli.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("hd-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    exit_for(&report, cli.deny)
+}
+
+fn exit_for(report: &Report, deny: bool) -> ExitCode {
+    if deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--models`: run `hd_dnn::verify` over every zoo victim under every
+/// accelerator preset's limits, printing each diagnostic.
+fn verify_models() -> ExitCode {
+    use hd_accel::AccelConfig;
+    use hd_dnn::{zoo, Params};
+
+    type MakeNet = fn(usize) -> hd_dnn::Network;
+    type MakeCfg = fn() -> AccelConfig;
+    let models: [(&str, MakeNet); 4] = [
+        ("vgg_s", zoo::vgg_s),
+        ("resnet18", zoo::resnet18),
+        ("alexnet", zoo::alexnet),
+        ("mobilenet_v2", zoo::mobilenet_v2),
+    ];
+    let presets: [(&str, MakeCfg); 2] = [
+        ("eyeriss_v2", AccelConfig::eyeriss_v2),
+        ("scnn_like", AccelConfig::scnn_like),
+    ];
+
+    let mut errors = 0usize;
+    let mut checked = 0usize;
+    for (mname, make_net) in models {
+        let net = make_net(10);
+        let params = Params::init(&net, 1);
+        for (pname, make_cfg) in presets {
+            let cfg = make_cfg();
+            let diags = hd_dnn::verify::verify(&net, Some(&params), &cfg.verify_limits());
+            checked += 1;
+            if diags.is_empty() {
+                println!("ok   {mname} x {pname}");
+            } else {
+                for d in &diags {
+                    println!("DIAG {mname} x {pname}: {d}");
+                }
+                errors += diags
+                    .iter()
+                    .filter(|d| d.severity == hd_dnn::verify::Severity::Error)
+                    .count();
+            }
+        }
+    }
+    println!("hd-lint --models: {checked} model x preset pairs checked, {errors} error(s)");
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

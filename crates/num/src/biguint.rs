@@ -286,7 +286,7 @@ impl fmt::Display for BigUint {
         while !cur.is_zero() {
             chunks.push(cur.div_rem_u32(1_000_000_000));
         }
-        let mut s = chunks.pop().unwrap().to_string();
+        let mut s = chunks.pop().unwrap_or_default().to_string();
         for chunk in chunks.into_iter().rev() {
             s.push_str(&format!("{:09}", chunk));
         }

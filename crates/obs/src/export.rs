@@ -119,13 +119,13 @@ impl Snapshot {
         if !self.counters.is_empty() {
             s.push_str("counters:\n");
             for c in &self.counters {
-                writeln!(s, "  {:<44} {:>16}", key_of(&c.name, &c.label), c.value).unwrap();
+                let _ = writeln!(s, "  {:<44} {:>16}", key_of(&c.name, &c.label), c.value);
             }
         }
         if !self.hists.is_empty() {
             s.push_str("histograms (count / mean / min / max):\n");
             for h in &self.hists {
-                writeln!(
+                let _ = writeln!(
                     s,
                     "  {:<44} {:>8}  {:>12.1}  {:>12.1}  {:>12.1}",
                     key_of(&h.name, &h.label),
@@ -133,26 +133,24 @@ impl Snapshot {
                     h.mean(),
                     h.min,
                     h.max
-                )
-                .unwrap();
+                );
             }
         }
         if !self.spans.is_empty() {
             s.push_str("spans (count / total ms / mean us):\n");
             for (name, count, total_us) in self.span_aggregates() {
-                writeln!(
+                let _ = writeln!(
                     s,
                     "  {:<44} {:>8}  {:>12.3}  {:>12.1}",
                     name,
                     count,
                     total_us as f64 / 1e3,
                     total_us as f64 / count.max(1) as f64
-                )
-                .unwrap();
+                );
             }
         }
         if self.spans_dropped > 0 {
-            writeln!(s, "  ({} spans dropped past the cap)", self.spans_dropped).unwrap();
+            let _ = writeln!(s, "  ({} spans dropped past the cap)", self.spans_dropped);
         }
         s
     }
@@ -171,14 +169,13 @@ impl Snapshot {
             if i > 0 {
                 s.push(',');
             }
-            write!(
+            let _ = write!(
                 s,
                 "\n    {{\"name\": {}, \"label\": {}, \"value\": {}}}",
                 json_str(&c.name),
                 json_str(&c.label),
                 c.value
-            )
-            .unwrap();
+            );
         }
         s.push_str(if self.counters.is_empty() {
             "],\n"
@@ -190,7 +187,7 @@ impl Snapshot {
             if i > 0 {
                 s.push(',');
             }
-            write!(
+            let _ = write!(
                 s,
                 "\n    {{\"name\": {}, \"label\": {}, \"count\": {}, \"sum\": {}, \
                  \"min\": {}, \"max\": {}, \"mean\": {}}}",
@@ -201,8 +198,7 @@ impl Snapshot {
                 json_f64(h.min),
                 json_f64(h.max),
                 json_f64(h.mean())
-            )
-            .unwrap();
+            );
         }
         s.push_str(if self.hists.is_empty() {
             "],\n"
@@ -215,15 +211,14 @@ impl Snapshot {
             if i > 0 {
                 s.push(',');
             }
-            write!(
+            let _ = write!(
                 s,
                 "\n    {{\"name\": {}, \"count\": {count}, \"total_us\": {total_us}}}",
                 json_str(name)
-            )
-            .unwrap();
+            );
         }
         s.push_str(if aggs.is_empty() { "],\n" } else { "\n  ],\n" });
-        writeln!(s, "  \"spans_dropped\": {}\n}}", self.spans_dropped).unwrap();
+        let _ = writeln!(s, "  \"spans_dropped\": {}\n}}", self.spans_dropped);
         s
     }
 
@@ -235,7 +230,7 @@ impl Snapshot {
             if i > 0 {
                 s.push(',');
             }
-            write!(
+            let _ = write!(
                 s,
                 "\n  {{\"name\": {}, \"cat\": \"hd-obs\", \"ph\": \"X\", \"ts\": {}, \
                  \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"label\": {}}}}}",
@@ -244,8 +239,7 @@ impl Snapshot {
                 sp.dur_us,
                 sp.tid,
                 json_str(&sp.label)
-            )
-            .unwrap();
+            );
         }
         s.push_str(if self.spans.is_empty() {
             "]}\n"
@@ -290,7 +284,7 @@ fn json_str(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).unwrap();
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

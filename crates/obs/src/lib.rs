@@ -128,6 +128,18 @@ pub fn snapshot() -> Snapshot {
     registry::global().snapshot()
 }
 
+/// Microseconds elapsed on the process-wide monotonic clock (first-use
+/// epoch) — the same domain as span timestamps.
+///
+/// This is the sanctioned wall-clock read for the rest of the workspace:
+/// the `no-wallclock` lint in `hd-lint` rejects direct `Instant::now()` /
+/// `SystemTime` uses outside `hd-obs`, so latency telemetry elsewhere
+/// should difference two `monotonic_us()` readings instead.
+#[inline]
+pub fn monotonic_us() -> u64 {
+    registry::global().now_us()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,62 @@
+//! Checked integer conversions for trace and byte accounting.
+//!
+//! DRAM trace sizes mix `usize` (in-memory geometry) with `u64` (byte
+//! counters that must not wrap on 32-bit hosts). Bare `as`-casts between
+//! the two silently truncate; these helpers make every such boundary
+//! explicit and are the only sanctioned conversion path in byte-accounting
+//! code (enforced by the `lossy-cast` rule in `hd-lint`).
+
+/// Widens an in-memory element count or geometry product to a `u64` byte
+/// counter. Lossless on every supported target (`usize` is at most 64 bits).
+#[inline]
+pub fn usize_to_u64(n: usize) -> u64 {
+    // hd-lint: allow(lossy-cast) -- the sanctioned widening primitive; usize is <= 64 bits on all supported targets
+    n as u64
+}
+
+/// Narrows a byte counter back to an addressable `usize`, or `None` if the
+/// value does not fit the host's address width.
+#[inline]
+pub fn u64_to_usize(n: u64) -> Option<usize> {
+    usize::try_from(n).ok()
+}
+
+/// Rounds a non-negative model estimate (e.g. expected encoded bytes) to a
+/// `u64` counter. Relies on Rust's saturating float-to-int `as` semantics:
+/// NaN maps to 0, negatives clamp to 0, overflow clamps to `u64::MAX`.
+#[inline]
+pub fn f64_round_to_u64(x: f64) -> u64 {
+    // hd-lint: allow(lossy-cast) -- saturating float->int cast is the documented contract here
+    x.round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_roundtrips() {
+        for n in [0usize, 1, 4096, usize::MAX] {
+            assert_eq!(u64_to_usize(usize_to_u64(n)), Some(n));
+        }
+    }
+
+    #[test]
+    fn narrowing_rejects_oversized_on_any_width() {
+        // On 64-bit hosts everything fits; the contract is Option either way.
+        if usize::BITS < 64 {
+            assert_eq!(u64_to_usize(u64::MAX), None);
+        } else {
+            assert_eq!(u64_to_usize(u64::MAX), Some(usize::MAX));
+        }
+    }
+
+    #[test]
+    fn float_rounding_saturates() {
+        assert_eq!(f64_round_to_u64(3.4), 3);
+        assert_eq!(f64_round_to_u64(3.5), 4);
+        assert_eq!(f64_round_to_u64(-1.0), 0);
+        assert_eq!(f64_round_to_u64(f64::NAN), 0);
+        assert_eq!(f64_round_to_u64(f64::INFINITY), u64::MAX);
+    }
+}

@@ -62,8 +62,9 @@ impl HuffmanCode {
                     })
                     .collect();
                 while heap.len() > 1 {
-                    let Reverse(a) = heap.pop().unwrap();
-                    let Reverse(b) = heap.pop().unwrap();
+                    let (Some(Reverse(a)), Some(Reverse(b))) = (heap.pop(), heap.pop()) else {
+                        break; // len > 1 guarantees both pops succeed
+                    };
                     let mut symbols = a.symbols;
                     symbols.extend(b.symbols);
                     for (_, d) in &mut symbols {
@@ -74,9 +75,10 @@ impl HuffmanCode {
                         symbols,
                     }));
                 }
-                let Reverse(root) = heap.pop().unwrap();
-                for (s, d) in root.symbols {
-                    lengths[s] = d;
+                if let Some(Reverse(root)) = heap.pop() {
+                    for (s, d) in root.symbols {
+                        lengths[s] = d;
+                    }
                 }
             }
         }

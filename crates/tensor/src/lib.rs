@@ -26,6 +26,7 @@
 //! assert_eq!((out.c(), out.h(), out.w()), (16, 8, 8));
 //! ```
 
+pub mod cast;
 pub mod colspan;
 pub mod conv;
 pub mod csc_conv;

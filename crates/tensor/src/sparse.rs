@@ -7,6 +7,7 @@
 //! transfer volume, and — crucially for the prober — the volume is a strictly
 //! monotone function of the non-zero count for a fixed tensor size.
 
+use crate::cast;
 use std::fmt;
 
 /// How a tensor is compressed for off-chip transfer.
@@ -72,8 +73,10 @@ impl CompressionScheme {
         let nnz = crate::nnz(values);
         let total = values.len();
         let bits = match self {
-            CompressionScheme::Dense => total as u64 * elem_bits as u64,
-            CompressionScheme::Bitmap => total as u64 + nnz as u64 * elem_bits as u64,
+            CompressionScheme::Dense => cast::usize_to_u64(total) * u64::from(elem_bits),
+            CompressionScheme::Bitmap => {
+                cast::usize_to_u64(total) + cast::usize_to_u64(nnz) * u64::from(elem_bits)
+            }
             CompressionScheme::RunLength { run_bits } => {
                 let max_run = (1u64 << run_bits) - 1;
                 let mut symbols: u64 = 0;
@@ -93,15 +96,16 @@ impl CompressionScheme {
                 if run > 0 {
                     symbols += 1; // trailing zero run needs a terminator symbol
                 }
-                symbols * (*run_bits as u64 + elem_bits as u64)
+                symbols * (u64::from(*run_bits) + u64::from(elem_bits))
             }
             CompressionScheme::Csc { offset_bits } => {
-                let channels = total.div_ceil(channel_len) as u64;
-                channels * 32 + nnz as u64 * (*offset_bits as u64 + elem_bits as u64)
+                let channels = cast::usize_to_u64(total.div_ceil(channel_len));
+                channels * 32
+                    + cast::usize_to_u64(nnz) * (u64::from(*offset_bits) + u64::from(elem_bits))
             }
             CompressionScheme::Huffman { quant_bits } => {
                 return EncodedSize {
-                    bytes: crate::huffman::huffman_encoded_bytes(values, *quant_bits as u32),
+                    bytes: crate::huffman::huffman_encoded_bytes(values, u32::from(*quant_bits)),
                     nnz,
                     total,
                 };
@@ -125,15 +129,15 @@ impl CompressionScheme {
             CompressionScheme::Dense => None,
             CompressionScheme::Bitmap => {
                 let bits = bytes * 8;
-                let payload = bits.checked_sub(total as u64)?;
-                Some((payload / elem_bits as u64) as usize)
+                let payload = bits.checked_sub(cast::usize_to_u64(total))?;
+                cast::u64_to_usize(payload / u64::from(elem_bits))
             }
             CompressionScheme::RunLength { .. } | CompressionScheme::Huffman { .. } => None,
             CompressionScheme::Csc { offset_bits } => {
                 // Caller must use the same single-channel convention.
                 let bits = bytes * 8;
                 let payload = bits.checked_sub(32)?;
-                Some((payload / (*offset_bits as u64 + elem_bits as u64)) as usize)
+                cast::u64_to_usize(payload / (u64::from(*offset_bits) + u64::from(elem_bits)))
             }
         }
     }
@@ -160,7 +164,7 @@ impl fmt::Display for CompressionScheme {
 /// so no operand a kernel would multiply is ever dropped from the span.
 pub fn nonzero_bounds(row: &[f32]) -> Option<(usize, usize)> {
     let first = row.iter().position(|&v| v != 0.0)?;
-    let last = row.iter().rposition(|&v| v != 0.0).unwrap();
+    let last = row.iter().rposition(|&v| v != 0.0)?;
     Some((first, last))
 }
 
@@ -178,7 +182,7 @@ pub struct EncodedSize {
 impl EncodedSize {
     /// Compression ratio (dense bytes / encoded bytes) for 8-bit elements.
     pub fn ratio(&self, elem_bits: u32) -> f64 {
-        let dense = (self.total as u64 * elem_bits as u64).div_ceil(8);
+        let dense = (cast::usize_to_u64(self.total) * u64::from(elem_bits)).div_ceil(8);
         dense as f64 / self.bytes.max(1) as f64
     }
 }

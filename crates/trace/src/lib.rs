@@ -241,15 +241,15 @@ pub fn analyze_versioned(trace: &Trace) -> Result<TraceAnalysis, AnalyzeTraceErr
                 t.bytes = t.addr_hi - t.addr_lo;
                 t.last_write_ps = e.time_ps;
             }
-            Some(_) => {
-                tensors.push(open.take().unwrap());
-                open = Some(TensorObs {
+            Some(t) => {
+                let next = TensorObs {
                     addr_lo: e.addr,
                     addr_hi: e.addr + e.bytes,
                     bytes: e.bytes,
                     first_write_ps: e.time_ps,
                     last_write_ps: e.time_ps,
-                });
+                };
+                tensors.push(std::mem::replace(t, next));
             }
             None => {
                 open = Some(TensorObs {
