@@ -10,7 +10,7 @@
 use crate::config::AccelConfig;
 use crate::defence::{defence_padding_bytes, Defence, NoiseState};
 use crate::encoder::{encode_timing, EncodeTiming};
-use crate::trace_event::{AccessKind, Trace, TraceEvent};
+use crate::trace_event::{AccessKind, Trace, TraceEvent, TraceSink};
 use hd_dnn::graph::{ForwardTrace, Network, NodeId, Op, Params, Value};
 use hd_dnn::ForwardCache;
 use hd_tensor::cast;
@@ -252,10 +252,37 @@ impl Device {
     ///
     /// Panics if the image shape does not match [`Device::input_shape`].
     pub fn try_run(&self, image: &Tensor3) -> Result<Trace, DeviceError> {
+        let mut out = Trace::default();
+        self.try_run_with(image, &mut out)?;
+        Ok(out)
+    }
+
+    /// Executes one inference, streaming each bus event into `sink` as it
+    /// is emitted instead of materializing a [`Trace`].
+    ///
+    /// This is the memory-bounded observation path: an incremental
+    /// analyzer consuming the stream retains only its running state, while
+    /// [`Device::try_run`] (a thin wrapper buffering into a [`Trace`] sink)
+    /// keeps the whole event vector alive for fixtures and CSV export.
+    /// Events reach the sink in nondecreasing `time_ps` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] on malformed sealed graphs. Events already
+    /// streamed before the error surfaced remain in the sink (a real bus
+    /// probe would have observed them too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match [`Device::input_shape`].
+    pub fn try_run_with(
+        &self,
+        image: &Tensor3,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), DeviceError> {
         let _run_span = hd_obs::span("device.run", "");
         let noise = self.noise_for(image);
         let trace = self.forward_for(image);
-        let mut out = Trace::default();
         let mut t: u64 = 0;
         let dram_bw = self.cfg.dram.bandwidth_bytes_per_sec();
 
@@ -282,7 +309,7 @@ impl Device {
         let input_region = allocator.alloc(input_bytes);
         act_regions[0] = Some(input_region);
         t = self.emit_stream(
-            &mut out,
+            sink,
             t,
             input_region.0,
             input_bytes,
@@ -309,7 +336,7 @@ impl Device {
             // 1) Weight fetch.
             if let Some((addr, bytes)) = self.weight_regions[id] {
                 t = self.emit_stream(
-                    &mut out,
+                    sink,
                     t,
                     addr,
                     bytes,
@@ -333,7 +360,7 @@ impl Device {
                         input: src,
                     })?;
                     t = self.emit_stream(
-                        &mut out,
+                        sink,
                         t,
                         addr,
                         bytes,
@@ -359,7 +386,7 @@ impl Device {
                     .div_ceil(8);
                     let psum_region = allocator.alloc(dense_bytes);
                     t = self.emit_stream(
-                        &mut out,
+                        sink,
                         t,
                         psum_region.0,
                         dense_bytes,
@@ -370,7 +397,7 @@ impl Device {
                     hd_obs::counter_add("dram.write.bytes", "psum", dense_bytes);
                     t += PHASE_GAP_PS;
                     t = self.emit_stream(
-                        &mut out,
+                        sink,
                         t,
                         psum_region.0,
                         dense_bytes,
@@ -394,7 +421,7 @@ impl Device {
             );
             let region = allocator.alloc(out_bytes);
             act_regions[id] = Some(region);
-            t = self.emit_encode_writes(&mut out, t, region.0, out_bytes, &timing);
+            t = self.emit_encode_writes(sink, t, region.0, out_bytes, &timing);
             hd_obs::counter_add("dram.write.bytes", "activations", out_bytes);
             t += PHASE_GAP_PS;
 
@@ -408,7 +435,7 @@ impl Device {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Per-layer encode timings for an input, keyed by node id. This is a
@@ -513,7 +540,7 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn emit_stream(
         &self,
-        out: &mut Trace,
+        sink: &mut dyn TraceSink,
         start_ps: u64,
         addr: u64,
         bytes: u64,
@@ -535,7 +562,7 @@ impl Device {
             };
             let time_ps = start_ps + offset_ps + cast::f64_round_to_u64(frac * window as f64);
             let this_bytes = burst.min(bytes - i * burst);
-            out.events.push(TraceEvent {
+            sink.event(TraceEvent {
                 time_ps,
                 addr: addr + i * burst,
                 kind,
@@ -547,14 +574,14 @@ impl Device {
 
     fn emit_encode_writes(
         &self,
-        out: &mut Trace,
+        sink: &mut dyn TraceSink,
         start_ps: u64,
         addr: u64,
         bytes: u64,
         timing: &EncodeTiming,
     ) -> u64 {
         self.emit_stream(
-            out,
+            sink,
             start_ps,
             addr,
             bytes,

@@ -40,11 +40,41 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// A consumer of bus events as the device emits them.
+///
+/// This is the streaming observation surface: a hardware bus probe hands
+/// the attacker one burst at a time, and an incremental analyzer (e.g.
+/// `hd-trace`'s `StreamingAnalyzer`) can fold each event into running
+/// state instead of materializing the full event vector. The buffered
+/// [`Trace`] is itself a sink (it just pushes), so golden-trace fixtures
+/// and CSV interchange keep working unchanged.
+///
+/// The contract mirrors what the bus delivers:
+///
+/// * events arrive in nondecreasing `time_ps` order (the device emits
+///   chronologically; analyzers may treat violations as errors),
+/// * one device run feeds exactly one sink from start to finish — sinks
+///   carry per-run state and are not reused across runs,
+/// * `event` must not panic on well-formed input; analyzers report
+///   malformed streams when their `finish`-style method is called.
+pub trait TraceSink {
+    /// Consumes one bus event.
+    fn event(&mut self, e: TraceEvent);
+}
+
 /// A full run's worth of bus events, in chronological order.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     /// Chronological events.
     pub events: Vec<TraceEvent>,
+}
+
+/// The buffering sink: retains every event. This is the thin adapter that
+/// keeps golden-trace fixtures byte-identical under the streaming API.
+impl TraceSink for Trace {
+    fn event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
 }
 
 impl Trace {

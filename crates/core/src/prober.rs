@@ -19,11 +19,13 @@ use crate::probe::stripe_probes;
 use crate::symbolic::{
     multiset_signature, sym_add, ConvHypothesis, Sym, SymConvLayer, SymPoolLayer, VarSource,
 };
-use hd_accel::{Device, Trace};
+use hd_accel::{Device, Trace, TraceSink};
+use hd_pool::WorkerPool;
 use hd_tensor::conv::{conv_out_dim, Padding};
 use hd_tensor::{Shape3, Tensor3};
-use hd_trace::{analyze, TensorId, TraceAnalysis};
+use hd_trace::{StreamingAnalyzer, TensorId, TraceAnalysis};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Anything the attacker can feed images to while watching the bus.
 ///
@@ -36,6 +38,18 @@ pub trait ProbeTarget: Sync {
     fn input_shape(&self) -> Shape3;
     /// Runs one inference, returning the observed bus trace.
     fn run_probe(&self, image: &Tensor3) -> Trace;
+    /// Runs one inference, streaming bus events into `sink` as they occur.
+    ///
+    /// The prober analyzes probe runs incrementally through this entry, so
+    /// per-probe memory stays bounded by one encode window instead of the
+    /// full trace. The default replays the buffered [`ProbeTarget::run_probe`];
+    /// targets with a native streaming path (like the simulated device)
+    /// override it to skip the intermediate event vector entirely.
+    fn probe_into(&self, image: &Tensor3, sink: &mut dyn TraceSink) {
+        for e in self.run_probe(image).events {
+            sink.event(e);
+        }
+    }
 }
 
 impl ProbeTarget for Device {
@@ -45,6 +59,13 @@ impl ProbeTarget for Device {
 
     fn run_probe(&self, image: &Tensor3) -> Trace {
         self.run(image)
+    }
+
+    fn probe_into(&self, image: &Tensor3, sink: &mut dyn TraceSink) {
+        if let Err(e) = self.try_run_with(image, sink) {
+            // hd-lint: allow(no-panic) -- mirrors Device::run: probing treats simulation failure as fatal
+            panic!("device simulation failed: {e}");
+        }
     }
 }
 
@@ -409,11 +430,34 @@ impl From<hd_trace::AnalyzeTraceError> for ProbeError {
 
 /// Runs the probing attack against a target.
 ///
+/// Fans each family's inferences across the process-wide [`WorkerPool`]
+/// (see [`probe_with_pool`] to supply a dedicated pool, e.g. to pin the
+/// worker count in tests).
+///
 /// # Errors
 ///
 /// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
 /// structure varies across runs.
 pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResult, ProbeError> {
+    probe_with_pool(target, cfg, WorkerPool::global())
+}
+
+/// [`probe`] with an explicit worker pool.
+///
+/// The pool is created once per campaign and reused across probe families
+/// and refinement rounds; `cfg.parallelism` still caps how many of its
+/// workers one family may occupy. Results are bit-identical for any pool
+/// size (see `run_family`).
+///
+/// # Errors
+///
+/// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
+/// structure varies across runs.
+pub fn probe_with_pool(
+    target: &dyn ProbeTarget,
+    cfg: &ProberConfig,
+    pool: &WorkerPool,
+) -> Result<ProberResult, ProbeError> {
     let _probe_span = hd_obs::span("prober.probe", "");
     let shape = target.input_shape();
     let shifts = cfg.shifts.min(shape.w);
@@ -443,7 +487,7 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
                 family.images.len() as u64,
             );
         }
-        let analyses = run_family(target, &family.images, workers)?;
+        let analyses = run_family(target, &family.images, workers, pool)?;
         let mut bytes_this: Vec<Vec<u64>> = Vec::with_capacity(shifts);
         for analysis in analyses {
             match &structure {
@@ -588,66 +632,81 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
     })
 }
 
+/// Runs one probe inference and analyzes its trace incrementally.
+///
+/// Telemetry prep (wall-clock read) only runs when enabled; the disabled
+/// path is a single relaxed atomic load, and the enabled path allocates
+/// nothing per probe (static names, empty labels).
+fn run_one(target: &dyn ProbeTarget, img: &Tensor3) -> Result<TraceAnalysis, ProbeError> {
+    let shift_timer = if hd_obs::enabled() {
+        Some((hd_obs::span("prober.shift", ""), hd_obs::monotonic_us()))
+    } else {
+        None
+    };
+    hd_obs::counter_add("prober.probe_runs", "", 1);
+    let mut sink = StreamingAnalyzer::new();
+    target.probe_into(img, &mut sink);
+    let analysis = sink.finish()?;
+    if let Some((_span, t0)) = shift_timer {
+        let elapsed_us = hd_obs::monotonic_us().saturating_sub(t0);
+        hd_obs::observe("prober.shift_latency_us", "", elapsed_us as f64);
+    }
+    Ok(analysis)
+}
+
 /// Runs every probe image of one family against the target and returns the
 /// analyses **in image-index order**, regardless of scheduling.
 ///
-/// Fan-out is deterministic by construction: each image owns a result slot
-/// (disjoint `chunks_mut` regions handed to scoped workers), so reduction
-/// order never depends on thread completion order, and `Device::run` itself
-/// derives any defence noise from the image — not from shared mutable
-/// state. Errors are surfaced for the lowest failing image index, matching
-/// what the serial path would report.
+/// The parallel path hands the family to the persistent [`WorkerPool`]:
+/// workers steal one image at a time off a shared counter (no static
+/// chunking, so a slow probe never strands the rest of its chunk), and
+/// each image owns a result slot so reduction order never depends on
+/// thread completion order. `Device::run` derives any defence noise from
+/// the image — not from shared mutable state — so results are
+/// bit-identical at any worker count.
+///
+/// Errors cancel the family early: once a probe fails, tasks with a higher
+/// image index are skipped (monotone `fetch_min` on the lowest failing
+/// index — a task observes a cut only at claim time, and the cut only ever
+/// decreases, so every index below the final cut did run). The surfaced
+/// error is the lowest failing image index, exactly what the serial
+/// short-circuit path reports.
 fn run_family(
     target: &dyn ProbeTarget,
     images: &[Tensor3],
     workers: usize,
+    pool: &WorkerPool,
 ) -> Result<Vec<TraceAnalysis>, ProbeError> {
-    let run_one = |idx: usize, img: &Tensor3| -> Result<TraceAnalysis, ProbeError> {
-        // Telemetry prep (label formatting, wall-clock read) only runs when
-        // enabled; the disabled path is a single relaxed atomic load.
-        let shift_timer = if hd_obs::enabled() {
-            Some((
-                hd_obs::span("prober.shift", &idx.to_string()),
-                hd_obs::monotonic_us(),
-            ))
-        } else {
-            None
-        };
-        let analysis = analyze(&target.run_probe(img))?;
-        if let Some((_span, t0)) = shift_timer {
-            let elapsed_us = hd_obs::monotonic_us().saturating_sub(t0);
-            hd_obs::observe("prober.shift_latency_us", "", elapsed_us as f64);
-        }
-        Ok(analysis)
-    };
     if workers <= 1 || images.len() <= 1 {
-        return images
-            .iter()
-            .enumerate()
-            .map(|(idx, img)| run_one(idx, img))
-            .collect();
+        return images.iter().map(|img| run_one(target, img)).collect();
     }
 
-    let mut slots: Vec<Option<Result<TraceAnalysis, ProbeError>>> = Vec::new();
-    slots.resize_with(images.len(), || None);
-    let chunk = images.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (chunk_idx, (imgs, outs)) in images
-            .chunks(chunk)
-            .zip(slots.chunks_mut(chunk))
-            .enumerate()
-        {
-            scope.spawn(move || {
-                for (off, (img, out)) in imgs.iter().zip(outs.iter_mut()).enumerate() {
-                    *out = Some(run_one(chunk_idx * chunk + off, img));
-                }
-            });
+    let min_err = AtomicUsize::new(usize::MAX);
+    let mut slots = pool.map(images.len(), workers, |idx| {
+        if idx > min_err.load(Ordering::Acquire) {
+            return None;
         }
+        let r = run_one(target, &images[idx]);
+        if r.is_err() {
+            min_err.fetch_min(idx, Ordering::AcqRel);
+        }
+        Some(r)
     });
+    let cut = min_err.load(Ordering::Acquire);
+    if cut != usize::MAX {
+        // The task that set the cut ran to completion, so its slot holds
+        // the error the serial path would have stopped at.
+        return match slots.swap_remove(cut) {
+            Some(Err(e)) => Err(e),
+            _ => unreachable!("cut index {cut} must hold an executed error"),
+        };
+    }
     slots
         .into_iter()
-        // hd-lint: allow(no-panic) -- the chunked zip covers every slot index exactly once
-        .map(|slot| slot.expect("worker filled every slot in its chunk"))
+        .map(|slot| match slot {
+            Some(r) => r,
+            None => unreachable!("no task is skipped when no error occurred"),
+        })
         .collect()
 }
 
@@ -1229,12 +1288,114 @@ mod tests {
         b.conv(x, 8, 3, 1);
         let dev = device_for(b.build(), 22);
         let fams = stripe_probes(ProbeTarget::input_shape(&dev), 12, 1, 99);
-        let serial = run_family(&dev, &fams[0].images, 1).unwrap();
-        // Odd worker counts exercise the uneven-final-chunk path.
+        let pool = WorkerPool::new(3);
+        let serial = run_family(&dev, &fams[0].images, 1, &pool).unwrap();
+        // Worker caps above, below, and equal to the pool size all reduce
+        // into the same index-ordered slots.
         for workers in [2, 3, 5, 12, 30] {
-            let par = run_family(&dev, &fams[0].images, workers).unwrap();
+            let par = run_family(&dev, &fams[0].images, workers, &pool).unwrap();
             assert_eq!(serial, par, "workers = {workers}");
         }
+    }
+
+    /// Fails (empty trace → `NoWrites`) for every image whose index — read
+    /// back out of the stripe the probe generator painted — is at least
+    /// `fail_from`, and counts how many probes actually execute.
+    struct FailingTarget {
+        shape: Shape3,
+        fail_from: usize,
+        runs: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FailingTarget {
+        fn image_index(&self, image: &Tensor3) -> usize {
+            // Stripe probes paint column `idx` of channel 0; recover it.
+            (0..self.shape.w)
+                .find(|&x| image.at(0, 0, x) != 0.0)
+                .unwrap_or(0)
+        }
+    }
+
+    impl ProbeTarget for FailingTarget {
+        fn input_shape(&self) -> Shape3 {
+            self.shape
+        }
+
+        fn run_probe(&self, image: &Tensor3) -> Trace {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            if self.image_index(image) >= self.fail_from {
+                return Trace::default();
+            }
+            let mut t = Trace::default();
+            t.events.push(hd_accel::TraceEvent {
+                time_ps: 0,
+                addr: 0x1000,
+                kind: hd_accel::AccessKind::Write,
+                bytes: 64,
+            });
+            t
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_serial_lowest_failing_index() {
+        let shape = Shape3 { c: 1, h: 8, w: 8 };
+        let fams = stripe_probes(shape, 8, 1, 7);
+        let serial_target = FailingTarget {
+            shape,
+            fail_from: 3,
+            runs: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let serial_err =
+            run_family(&serial_target, &fams[0].images, 1, &WorkerPool::new(0)).unwrap_err();
+        // Serial short-circuits: exactly fail_from + 1 probes execute.
+        assert_eq!(serial_target.runs.load(Ordering::SeqCst), 4);
+
+        for threads in [0, 4] {
+            let pool = WorkerPool::new(threads);
+            let target = FailingTarget {
+                shape,
+                fail_from: 3,
+                runs: std::sync::atomic::AtomicUsize::new(0),
+            };
+            let err = run_family(&target, &fams[0].images, 4, &pool).unwrap_err();
+            assert_eq!(err, serial_err, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_error_path_cancels_probes_past_the_failure() {
+        let shape = Shape3 { c: 1, h: 8, w: 8 };
+        let fams = stripe_probes(shape, 8, 1, 7);
+        // A zero-thread pool claims tasks in index order on the caller, so
+        // cancellation is deterministic: indices past the first failure are
+        // skipped without running the probe.
+        let target = FailingTarget {
+            shape,
+            fail_from: 3,
+            runs: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let err = run_family(&target, &fams[0].images, 4, &WorkerPool::new(0)).unwrap_err();
+        assert!(matches!(err, ProbeError::Trace(_)));
+        assert_eq!(
+            target.runs.load(Ordering::SeqCst),
+            4,
+            "probes past the lowest failing index must not execute"
+        );
+    }
+
+    #[test]
+    fn probe_with_dedicated_pool_matches_global_pool() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.max_pool(x, 2);
+        let dev = device_for(b.build(), 23);
+        let cfg = small_cfg().with_parallelism(Some(4));
+        let via_global = probe(&dev, &cfg).unwrap();
+        let pool = WorkerPool::new(4);
+        let via_pool = probe_with_pool(&dev, &cfg, &pool).unwrap();
+        assert_eq!(via_global, via_pool);
     }
 
     #[test]

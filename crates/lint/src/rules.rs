@@ -6,7 +6,7 @@
 //! |------|-------|-----------------|
 //! | `no-panic` | library crate sources | `.unwrap()`, `.expect(...)`, `panic!` outside `#[cfg(test)]` |
 //! | `no-wallclock` | library crates except `hd-obs` | `Instant::now`, `SystemTime` (nondeterminism sources) |
-//! | `no-bare-spawn` | everywhere scanned | `thread::spawn` (must use the scoped executor) |
+//! | `no-bare-spawn` | everywhere but `crates/pool` | `thread::spawn` (must use hd-pool or the scoped executor) |
 //! | `lossy-cast` | trace/byte-accounting files | `as`-casts to integer types (use `hd_tensor::cast`) |
 //! | `no-deprecated` | everywhere scanned | uses of items the workspace marks `#[deprecated]` |
 //! | `bad-allow` | everywhere scanned | malformed `hd-lint:` comments (unknown rule, missing reason) |
@@ -200,7 +200,8 @@ pub fn lint_source(rel_path: &str, source: &str, deprecated: &DeprecatedIndex) -
                 t[i].line,
                 t[i].col,
                 "no-bare-spawn",
-                "bare thread::spawn; use the scoped executor (std::thread::scope)".to_string(),
+                "bare thread::spawn; use the hd-pool worker pool (or std::thread::scope)"
+                    .to_string(),
             ));
         }
         if rule_in_scope("lossy-cast", rel_path)
@@ -499,7 +500,9 @@ pub fn rule_in_scope(rule: &str, rel: &str) -> bool {
     match rule {
         "no-panic" => library,
         "no-wallclock" => library && !rel.starts_with("crates/obs/"),
-        "no-bare-spawn" => true,
+        // `crates/pool` is the one sanctioned spawn site: it owns the
+        // persistent worker pool every other crate is expected to use.
+        "no-bare-spawn" => !rel.starts_with("crates/pool/src/"),
         "lossy-cast" => {
             rel.starts_with("crates/trace/src/")
                 || rel.starts_with("crates/accel/src/")
@@ -582,11 +585,14 @@ mod tests {
     }
 
     #[test]
-    fn bare_spawn_flagged_everywhere() {
+    fn bare_spawn_flagged_everywhere_but_the_pool() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         let dep = DeprecatedIndex::default();
         let r = lint_source("examples/x.rs", src, &dep);
         assert_eq!(rules_hit(&r), vec!["no-bare-spawn"]);
+        // The worker-pool crate is the sanctioned spawn site.
+        let pool = lint_source("crates/pool/src/lib.rs", src, &dep);
+        assert!(pool.violations.is_empty());
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! The process-global telemetry store.
 //!
-//! One `Mutex<Inner>` guards three ordered maps/lists. A mutex (rather
-//! than sharded atomics) is deliberate: instrumentation sites fire at
-//! layer/probe granularity — thousands of events per second, not millions
-//! — and the disabled path never reaches the lock at all.
+//! Counters — the hot path now that the prober fans probe runs across a
+//! worker pool — are sharded per thread: each thread owns an
+//! [`Arc<Shard>`] holding its private map, so an increment locks only the
+//! caller's shard and never serializes the pool on a global mutex.
+//! `snapshot` merges the shards (addition is order-independent) and
+//! `reset` clears them in place, so totals are exact under any
+//! interleaving and survive worker-thread exit (the registry keeps every
+//! shard alive).
+//!
+//! Histograms and spans stay behind the single `Mutex<Inner>`: they fire
+//! at layer/probe granularity — thousands of events per second, not
+//! millions — and the disabled path never reaches any lock at all.
 
 use crate::export::{CounterSnap, HistSnap, Snapshot, SpanSnap};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Hard cap on retained span records; beyond it spans are counted in
@@ -64,14 +72,41 @@ pub(crate) struct SpanRecord {
 
 #[derive(Default)]
 struct Inner {
-    counters: BTreeMap<Key, u64>,
     hists: BTreeMap<Key, HistStats>,
     spans: Vec<SpanRecord>,
     spans_dropped: u64,
 }
 
+/// One thread's private counter map. Locked only by its owner thread on
+/// the increment path; `snapshot`/`reset` lock shards one at a time from
+/// whatever thread collects.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<BTreeMap<Key, u64>>,
+}
+
+impl Shard {
+    fn add(&self, name: &'static str, label: &str, delta: u64) {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map
+            .entry(Key {
+                name,
+                label: label.to_string(),
+            })
+            .or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+}
+
 pub(crate) struct Registry {
     inner: Mutex<Inner>,
+    /// Every counter shard ever handed to a thread, plus the fallback.
+    /// Shards are never removed: counts must outlive the worker threads
+    /// that produced them.
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Shard of last resort, used when thread-local storage is already
+    /// torn down (increments from thread-exit paths).
+    fallback: Shard,
     /// Process-wide monotonic epoch: all span timestamps are microseconds
     /// since the registry's first use. Survives `reset` so successive
     /// collection windows never produce overlapping Chrome timelines.
@@ -83,8 +118,25 @@ static GLOBAL: OnceLock<Registry> = OnceLock::new();
 pub(crate) fn global() -> &'static Registry {
     GLOBAL.get_or_init(|| Registry {
         inner: Mutex::new(Inner::default()),
+        shards: Mutex::new(Vec::new()),
+        fallback: Shard::default(),
         epoch: Instant::now(),
     })
+}
+
+thread_local! {
+    /// This thread's counter shard, registered with the global registry on
+    /// first use so snapshots can find it after the thread exits.
+    static SHARD: Arc<Shard> = {
+        let shard = Arc::new(Shard::default());
+        let registry = global();
+        registry
+            .shards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&shard));
+        shard
+    };
 }
 
 /// Small dense thread id for Chrome trace `tid` fields (std's `ThreadId`
@@ -111,15 +163,26 @@ impl Registry {
     }
 
     pub fn counter_add(&self, name: &'static str, label: &str, delta: u64) {
-        let mut inner = self.lock();
-        let slot = inner
-            .counters
-            .entry(Key {
-                name,
-                label: label.to_string(),
-            })
-            .or_insert(0);
-        *slot = slot.saturating_add(delta);
+        match SHARD.try_with(Arc::clone) {
+            Ok(shard) => shard.add(name, label, delta),
+            // Thread-local storage already destroyed (increment during
+            // thread teardown) — fall back to the shared shard.
+            Err(_) => self.fallback.add(name, label, delta),
+        }
+    }
+
+    /// Sums every shard's counters into one ordered map.
+    fn merged_counters(&self) -> BTreeMap<Key, u64> {
+        let mut merged: BTreeMap<Key, u64> = BTreeMap::new();
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in shards.iter().map(Arc::as_ref).chain([&self.fallback]) {
+            let map = shard.counters.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, &v) in map.iter() {
+                let slot = merged.entry(k.clone()).or_insert(0);
+                *slot = slot.saturating_add(v);
+            }
+        }
+        merged
     }
 
     pub fn observe(&self, name: &'static str, label: &str, value: f64) {
@@ -145,13 +208,21 @@ impl Registry {
 
     pub fn reset(&self) {
         *self.lock() = Inner::default();
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in shards.iter().map(Arc::as_ref).chain([&self.fallback]) {
+            shard
+                .counters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+        }
     }
 
     pub fn snapshot(&self) -> Snapshot {
+        let counters = self.merged_counters();
         let inner = self.lock();
         Snapshot {
-            counters: inner
-                .counters
+            counters: counters
                 .iter()
                 .map(|(k, &v)| CounterSnap {
                     name: k.name.to_string(),

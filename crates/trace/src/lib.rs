@@ -15,6 +15,10 @@
 //! Nothing here touches the victim network or its weights; the analyzer is
 //! string-and-sealing-wax the attacker could really build.
 
+mod streaming;
+
+pub use streaming::StreamingAnalyzer;
+
 use hd_accel::{AccessKind, Trace};
 use std::fmt;
 
@@ -313,7 +317,7 @@ pub fn analyze_versioned(trace: &Trace) -> Result<TraceAnalysis, AnalyzeTraceErr
 }
 
 /// Total length of a set of byte intervals after merging overlaps.
-fn merged_len(ranges: &mut [(u64, u64)]) -> u64 {
+pub(crate) fn merged_len(ranges: &mut [(u64, u64)]) -> u64 {
     if ranges.is_empty() {
         return 0;
     }

@@ -1,0 +1,151 @@
+//! Differential suite: the incremental [`StreamingAnalyzer`] must produce
+//! a `TraceAnalysis` byte-identical to buffering the full trace and
+//! calling [`hd_trace::analyze`] — on the pinned golden-trace fixture, on
+//! device runs over randomly pruned networks, and on both probe regimes
+//! (dense images and sparse stripes). It must also retain strictly fewer
+//! events than the buffered path on any multi-layer run.
+
+use hd_accel::{AccelConfig, Device, Trace, TraceSink};
+use hd_dnn::graph::{NetworkBuilder, Params};
+use hd_tensor::Tensor3;
+use hd_trace::{analyze, StreamingAnalyzer};
+use proptest::prelude::*;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden_trace.txt"
+);
+
+/// Replays a buffered trace through the streaming sink.
+fn stream_trace(trace: &Trace) -> StreamingAnalyzer {
+    let mut s = StreamingAnalyzer::new();
+    for &e in &trace.events {
+        s.event(e);
+    }
+    s
+}
+
+/// Extracts the CSV trace sections (`== trace NAME ==` blocks) from the
+/// golden fixture.
+fn fixture_traces() -> Vec<(String, Trace)> {
+    let text = std::fs::read_to_string(FIXTURE).expect("golden fixture present");
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut csv = String::new();
+    for line in text.lines().chain(std::iter::once("== end ==")) {
+        if let Some(rest) = line.strip_prefix("== ") {
+            if let Some(n) = name.take() {
+                let trace = Trace::from_csv(csv.as_bytes()).expect("fixture CSV parses");
+                out.push((n, trace));
+                csv.clear();
+            }
+            if let Some(n) = rest.strip_suffix(" ==") {
+                if let Some(t) = n.strip_prefix("trace ") {
+                    name = Some(t.to_string());
+                }
+            }
+        } else if name.is_some() {
+            csv.push_str(line);
+            csv.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_fixture_traces_analyze_identically() {
+    let traces = fixture_traces();
+    assert_eq!(traces.len(), 2, "dense + impulse sections expected");
+    for (name, trace) in traces {
+        let buffered = analyze(&trace).expect("fixture trace analyzes");
+        let sink = stream_trace(&trace);
+        assert!(
+            sink.peak_pending_reads() < trace.len(),
+            "{name}: streaming must retain fewer events than the trace"
+        );
+        let streamed = sink.finish().expect("streaming analysis succeeds");
+        assert_eq!(buffered, streamed, "trace {name} diverged");
+    }
+}
+
+#[test]
+fn device_streaming_run_matches_buffered_run() {
+    let mut b = NetworkBuilder::new(3, 12, 12);
+    let x = b.input();
+    let x = b.conv(x, 6, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 9, 3, 2);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 4);
+    let net = b.build();
+    let mut params = Params::init(&net, 20230813);
+    let profile = hd_dnn::prune::paper_profile(&net);
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 0x60_1D);
+    let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+
+    let mut img = Tensor3::zeros(3, 12, 12);
+    img.set(0, 0, 3, -1.0);
+    img.set(1, 6, 6, 1.0);
+
+    // Buffered: materialize the trace, then analyze.
+    let trace = dev.run(&img);
+    let buffered = analyze(&trace).unwrap();
+    // Streaming: analyze while the device emits.
+    let mut sink = StreamingAnalyzer::new();
+    dev.try_run_with(&img, &mut sink).unwrap();
+    assert!(sink.peak_pending_reads() < trace.len());
+    assert_eq!(sink.finish().unwrap(), buffered);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming == buffered on device traces of random pruned networks,
+    /// across seeds, geometries, sparsity levels, and probe regimes.
+    #[test]
+    fn streaming_equals_buffered_on_random_pruned_networks(
+        seed in 0u64..1000,
+        k1 in 3usize..9,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        with_pool in prop_oneof![Just(false), Just(true)],
+        sparsity_pct in 0u64..95,
+        stripe_col in 0usize..12,
+    ) {
+        let mut b = NetworkBuilder::new(2, 12, 12);
+        let x = b.input();
+        let x = b.conv(x, k1, kernel, stride);
+        let x = if with_pool { b.max_pool(x, 2) } else { x };
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 3);
+        let net = b.build();
+        let mut params = Params::init(&net, seed);
+        let profile = hd_dnn::prune::SparsityProfile {
+            targets: net
+                .weighted_nodes()
+                .iter()
+                .map(|&id| (id, sparsity_pct as f64 / 100.0))
+                .collect(),
+        };
+        hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, seed ^ 0xBEEF);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+
+        let mut dense = Tensor3::zeros(2, 12, 12);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        dense.fill_uniform(&mut rng, 0.05, 1.0);
+        let mut stripe = Tensor3::zeros(2, 12, 12);
+        for y in 0..12 {
+            stripe.set(0, y, stripe_col, 1.0);
+        }
+
+        for img in [&dense, &stripe] {
+            let trace = dev.run(img);
+            let buffered = analyze(&trace).unwrap();
+            let mut sink = StreamingAnalyzer::new();
+            dev.try_run_with(img, &mut sink).unwrap();
+            prop_assert!(sink.peak_pending_reads() < trace.len());
+            prop_assert_eq!(sink.finish().unwrap(), buffered);
+        }
+    }
+}

@@ -91,7 +91,52 @@ fn attack_outcome_is_bit_identical_with_telemetry_on_and_off() {
     assert_eq!(snap.span_count("attack.stage"), 3);
     assert!(snap.counter("prober.families", "").unwrap_or(0) > 0);
     assert!(snap.counter_total("prober.runs") > 0);
+    // Every booked probe run executed exactly once: the sharded counter
+    // each pool worker bumps must merge to the prober's own accounting.
+    assert_eq!(
+        snap.counter("prober.probe_runs", "").unwrap_or(0),
+        on.prober.runs_used as u64,
+        "executed probe count diverged from runs_used"
+    );
     assert!(snap.counter_total("dram.read.bytes") > 0);
+}
+
+#[test]
+fn attack_outcome_is_invariant_under_telemetry_and_wide_parallelism() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    hd_obs::set_enabled(false);
+    hd_obs::reset();
+    let baseline = run_attack();
+
+    // -j4 exceeds this host's core count on CI's smallest runners, so the
+    // pool oversubscribes; with telemetry on, every worker also bumps its
+    // own counter shard. Neither may change the outcome.
+    let wide_config = AttackConfig::builder()
+        .prober(
+            ProberConfig::builder()
+                .shifts(12)
+                .max_probes(8)
+                .stable_probes(2)
+                .parallelism(Some(4))
+                .build()
+                .expect("valid prober config"),
+        )
+        .classes(10)
+        .max_k(256)
+        .build()
+        .expect("valid attack config");
+    hd_obs::reset();
+    hd_obs::set_enabled(true);
+    let wide = huffduff_core::run(&device(), &wide_config).expect("attack succeeds");
+    hd_obs::set_enabled(false);
+    let snap = hd_obs::snapshot();
+    hd_obs::reset();
+
+    assert_eq!(baseline, wide, "-j4 with telemetry changed the outcome");
+    assert_eq!(
+        snap.counter("prober.probe_runs", "").unwrap_or(0),
+        wide.prober.runs_used as u64
+    );
 }
 
 #[test]
