@@ -28,6 +28,7 @@ fn main() {
             "finalize",
             "figs",
             "ablations",
+            "prune_matrix",
         ]
     } else {
         wanted
@@ -53,6 +54,7 @@ fn main() {
                     println!("{}", fig5_fig6_transfer(&prepared, Epsilon::fig6()));
                 }
             }
+            "prune_matrix" => println!("{}", prune_matrix(scale)),
             "ablations" => {
                 println!("{}", codec_ablation(scale));
                 println!("{}", defence_ablation(scale));
@@ -60,7 +62,7 @@ fn main() {
                 println!("{}", generality_sweep(scale));
             }
             other => {
-                eprintln!("unknown experiment `{other}`; known: table1 observability prober glb finalize figs fig4 fig5 fig6 ablations all");
+                eprintln!("unknown experiment `{other}`; known: table1 observability prober glb finalize figs fig4 fig5 fig6 ablations prune_matrix all");
                 std::process::exit(2);
             }
         }

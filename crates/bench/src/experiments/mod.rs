@@ -6,6 +6,7 @@ mod figs456;
 mod glb;
 mod observability;
 mod prober_exp;
+mod prune_matrix;
 mod solutions;
 mod table1;
 
@@ -14,5 +15,9 @@ pub use figs456::{fig4_accuracy, fig5_fig6_transfer, prepare_models, PreparedMod
 pub use glb::glb_bound_table;
 pub use observability::observability_table;
 pub use prober_exp::prober_table;
+pub use prune_matrix::{
+    cross_backend_agreement, prune_matrix, prune_matrix_cells, render_matrix, MatrixCell,
+    MATRIX_WIDTH,
+};
 pub use solutions::final_solution_table;
 pub use table1::table1;

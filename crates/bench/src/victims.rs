@@ -2,7 +2,10 @@
 
 use hd_accel::{AccelConfig, Device};
 use hd_dnn::graph::{Network, Params};
-use hd_dnn::prune::{apply_sparsity_profile, paper_profile, Mask, SparsityProfile};
+use hd_dnn::prune::{
+    apply_sparsity_profile, magnitude_prune_profile, nm_prune, paper_profile, structured_prune,
+    Mask, SparsityProfile, StructuredCfg,
+};
 
 /// Which paper victim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,8 +33,101 @@ impl Model {
         }
     }
 
+    /// Width-scaled network for matrix experiments that cannot afford
+    /// the full-size probe budget per cell.
+    pub fn network_scaled(&self, classes: usize, width: f64) -> Network {
+        match self {
+            Model::VggS => hd_dnn::zoo::vgg_s_scaled(classes, width),
+            Model::ResNet18 => hd_dnn::zoo::resnet18_scaled(classes, width),
+        }
+    }
+
     /// Both paper victims.
     pub const BOTH: [Model; 2] = [Model::VggS, Model::ResNet18];
+}
+
+/// How the victim was pruned before deployment. Unstructured is the
+/// paper's regime; the other two are the structured/N:M deployments the
+/// robustness matrix probes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PruneMode {
+    /// Per-layer magnitude pruning to a sparsity profile (paper default).
+    Unstructured,
+    /// N:M fine-grained sparsity along the input-channel axis.
+    Nm {
+        /// Kept weights per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+    /// Channel removal by L1 norm: shapes physically shrink.
+    Structured {
+        /// Fraction of each prunable class's channels kept.
+        keep_frac: f64,
+    },
+}
+
+impl PruneMode {
+    /// Stable display name used in tables and JSON artifacts.
+    pub fn name(&self) -> String {
+        match self {
+            PruneMode::Unstructured => "unstructured".to_string(),
+            PruneMode::Nm { n, m } => format!("{n}:{m}"),
+            PruneMode::Structured { keep_frac } => format!("structured-{keep_frac:.2}"),
+        }
+    }
+
+    /// The matrix's default presets: paper-style magnitude pruning,
+    /// 2:4 fine-grained sparsity, and half-width structured removal.
+    pub const DEFAULTS: [PruneMode; 3] = [
+        PruneMode::Unstructured,
+        PruneMode::Nm { n: 2, m: 4 },
+        PruneMode::Structured { keep_frac: 0.5 },
+    ];
+}
+
+/// A width-scaled victim pruned with `mode` and sealed inside `cfg`.
+///
+/// Structured victims are channel-removed first and then magnitude-pruned
+/// with the mini profile *within* the surviving channels, so the timing
+/// channel still sees realistic nnz statistics; N:M victims rely on the
+/// group constraint alone.
+pub fn pruned_victim(
+    model: Model,
+    mode: PruneMode,
+    width: f64,
+    seed: u64,
+    cfg: AccelConfig,
+) -> (Device, Network) {
+    let net = model.network_scaled(10, width);
+    let mut params = Params::init(&net, seed);
+    let (net, params) = match mode {
+        PruneMode::Unstructured => {
+            let profile = mini_profile(&net);
+            apply_sparsity_profile(&net, &mut params, &profile, seed ^ 0xBEEF);
+            (net, params)
+        }
+        PruneMode::Nm { n, m } => {
+            nm_prune(&net, &mut params, n, m);
+            (net, params)
+        }
+        PruneMode::Structured { keep_frac } => {
+            let r = structured_prune(
+                &net,
+                &params,
+                &StructuredCfg {
+                    keep_frac,
+                    min_keep: 2,
+                },
+            );
+            let (net, mut params) = (r.net, r.params);
+            let profile = mini_profile(&net);
+            magnitude_prune_profile(&net, &mut params, &profile);
+            (net, params)
+        }
+    };
+    let device = Device::new(net.clone(), params, cfg);
+    (device, net)
 }
 
 /// A full-size victim pruned with the paper-shaped sparsity profile and
@@ -120,6 +216,56 @@ mod tests {
                 model.name()
             );
         }
+    }
+
+    #[test]
+    fn pruned_victims_honor_their_mode() {
+        let width = 0.25;
+        // N:M: every 4-group along C in every conv holds at most 2 nonzeros.
+        let (dev, net) = pruned_victim(
+            Model::VggS,
+            PruneMode::Nm { n: 2, m: 4 },
+            width,
+            5,
+            AccelConfig::eyeriss_v2(),
+        );
+        let oracle = dev.oracle();
+        for &id in &net.conv_nodes() {
+            let w = oracle.params.conv(id).w;
+            for k in 0..w.k() {
+                for r in 0..w.r() {
+                    for s in 0..w.s() {
+                        for c0 in (0..w.c()).step_by(4) {
+                            let nnz = (c0..(c0 + 4).min(w.c()))
+                                .filter(|&c| w.data()[w.index(k, c, r, s)] != 0.0)
+                                .count();
+                            assert!(nnz <= 2, "node {id}: group nnz {nnz}");
+                        }
+                    }
+                }
+            }
+        }
+
+        // Structured: the first conv physically shrank below the scaled
+        // width, and the graph still verifies.
+        let (dev, net) = pruned_victim(
+            Model::VggS,
+            PruneMode::Structured { keep_frac: 0.5 },
+            width,
+            5,
+            AccelConfig::eyeriss_v2(),
+        );
+        let dense = Model::VggS.network_scaled(10, width);
+        let first = net.conv_nodes()[0];
+        let got = dev.oracle().params.conv(first).w.k();
+        let full = Params::init(&dense, 5).conv(dense.conv_nodes()[0]).w.k();
+        assert!(got < full, "structured victim kept all {full} channels");
+        assert!(hd_dnn::verify::verify_strict(
+            &net,
+            Some(dev.oracle().params),
+            &hd_dnn::verify::Limits::default()
+        )
+        .is_ok());
     }
 
     #[test]

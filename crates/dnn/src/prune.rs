@@ -1,7 +1,8 @@
-//! Unstructured magnitude pruning and lottery-ticket-style schedules.
+//! Pruning: unstructured magnitude, lottery-ticket schedules, N:M
+//! fine-grained sparsity, and structured channel removal.
 //!
 //! The paper's victims are pruned 10x with the Lottery Ticket Hypothesis.
-//! Two paths are provided:
+//! Several paths are provided:
 //!
 //! * [`lottery_ticket`] — the real thing at mini scale: train, prune the
 //!   smallest-magnitude weights, rewind surviving weights to their initial
@@ -9,7 +10,18 @@
 //! * [`apply_sparsity_profile`] — synthesizes a per-layer sparsity *pattern*
 //!   directly (random mask at the requested density), used for the full-size
 //!   probing victims where only the sparsity structure matters (see
-//!   DESIGN.md "Substitutions").
+//!   DESIGN.md "Substitutions"),
+//! * [`nm_prune`] — N:M fine-grained pruning (default 2:4): within every
+//!   group of `M` consecutive weights along the input-channel axis, keep the
+//!   `N` largest magnitudes. This is the hardware-friendly pattern sparse
+//!   tensor cores accelerate, and it changes the nnz *statistics* the
+//!   attack's symbolic engine consumes without changing any layer shape,
+//! * [`restructure`] — structured channel pruning: whole output channels are
+//!   ranked by L1 norm and *physically removed*, shrinking the producer's
+//!   `K` axis, every consumer's `C` axis, BN/bias vectors, and the head's
+//!   input features. Residual adds force their operands to share one keep
+//!   set. Unlike every mode above, this changes the layer shapes the
+//!   boundary-effect prober recovers.
 
 use crate::graph::{LayerParams, Network, NodeId, Params};
 use crate::train::{train, TrainConfig};
@@ -17,6 +29,10 @@ use hd_tensor::Tensor3;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+pub mod restructure;
+
+pub use restructure::{structured_prune, ChannelPlan, Restructured, StructuredCfg};
 
 /// Binary keep-masks for every weighted node.
 #[derive(Clone, Debug, PartialEq)]
@@ -276,6 +292,86 @@ pub fn magnitude_prune_profile(
     mask
 }
 
+/// Marks the top-`n` magnitudes of one `M`-group as kept. `group` holds
+/// flat indices into `w`; ties break toward the lower index so the mask is
+/// a pure function of the weights.
+fn nm_keep_group(w: &[f32], group: &[usize], n: usize, keep: &mut [bool]) {
+    let mut order: Vec<usize> = group.to_vec();
+    order.sort_by(|&a, &b| w[b].abs().total_cmp(&w[a].abs()).then(a.cmp(&b)));
+    for &i in order.iter().take(n.min(group.len())) {
+        keep[i] = true;
+    }
+}
+
+/// N:M fine-grained pruning mask: within every group of `m` consecutive
+/// positions along the input-channel axis, the `n` largest-magnitude
+/// weights survive (per output channel and kernel tap for convolutions,
+/// per output feature for linear layers). The default hardware pattern is
+/// 2:4; arbitrary `n <= m` is supported. Groups shorter than `m` (channel
+/// count not divisible by `m`) keep `min(n, len)` weights.
+///
+/// Depthwise convolutions have a unit input-channel axis, so the pattern
+/// is vacuous there and every depthwise weight is kept.
+///
+/// # Panics
+///
+/// Panics unless `1 <= n <= m`.
+pub fn nm_mask(net: &Network, params: &Params, n: usize, m: usize) -> Mask {
+    assert!(n >= 1, "N:M pruning requires n >= 1");
+    assert!(n <= m, "N:M pruning requires n <= m");
+    let mut masks = vec![None; net.len()];
+    for (id, node) in net.nodes().iter().enumerate() {
+        match (&node.op, &params.layers[id]) {
+            (crate::graph::Op::Conv(_), Some(LayerParams::Conv { w, .. })) => {
+                let mut keep = vec![false; w.len()];
+                let mut group = Vec::with_capacity(m);
+                for k in 0..w.k() {
+                    for r in 0..w.r() {
+                        for s in 0..w.s() {
+                            for c0 in (0..w.c()).step_by(m) {
+                                group.clear();
+                                for c in c0..(c0 + m).min(w.c()) {
+                                    group.push(w.index(k, c, r, s));
+                                }
+                                nm_keep_group(w.data(), &group, n, &mut keep);
+                            }
+                        }
+                    }
+                }
+                masks[id] = Some(keep);
+            }
+            (crate::graph::Op::DwConv { .. }, Some(LayerParams::DwConv { w, .. })) => {
+                // Unit input-channel axis: the N:M pattern is vacuous.
+                masks[id] = Some(vec![true; w.len()]);
+            }
+            (crate::graph::Op::Linear { .. }, Some(LayerParams::Linear { w, in_features, .. })) => {
+                let in_f = (*in_features).max(1);
+                let mut keep = vec![false; w.len()];
+                let mut group = Vec::with_capacity(m);
+                for row in 0..w.len() / in_f {
+                    for i0 in (0..in_f).step_by(m) {
+                        group.clear();
+                        for i in i0..(i0 + m).min(in_f) {
+                            group.push(row * in_f + i);
+                        }
+                        nm_keep_group(w, &group, n, &mut keep);
+                    }
+                }
+                masks[id] = Some(keep);
+            }
+            _ => {}
+        }
+    }
+    Mask { masks }
+}
+
+/// Computes the N:M mask ([`nm_mask`]) and zeroes the pruned weights.
+pub fn nm_prune(net: &Network, params: &mut Params, n: usize, m: usize) -> Mask {
+    let mask = nm_mask(net, params, n, m);
+    mask.apply(params);
+    mask
+}
+
 /// Configuration for [`lottery_ticket`].
 #[derive(Clone, Debug)]
 pub struct LotteryConfig {
@@ -339,6 +435,79 @@ mod tests {
         let x = b.global_avg_pool(x);
         b.linear(x, 3);
         b.build()
+    }
+
+    #[test]
+    fn nm_mask_groups_hold_n_of_m() {
+        let net = tiny_net();
+        let mut params = Params::init(&net, 5);
+        let mask = nm_prune(&net, &mut params, 2, 4);
+        for id in [1usize, 2] {
+            let w = params.conv(id).w;
+            let m = mask.masks[id].as_ref().unwrap();
+            for k in 0..w.k() {
+                for r in 0..w.r() {
+                    for s in 0..w.s() {
+                        for c0 in (0..w.c()).step_by(4) {
+                            let group: Vec<usize> = (c0..(c0 + 4).min(w.c()))
+                                .map(|c| ((k * w.c() + c) * w.r() + r) * w.s() + s)
+                                .collect();
+                            let nnz = group.iter().filter(|&&i| m[i]).count();
+                            assert!(nnz <= 2, "group carries {nnz} > 2 nonzeros");
+                            // Pruned weights are physically zeroed.
+                            for &i in &group {
+                                if !m[i] {
+                                    assert_eq!(w.data()[i], 0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nm_mask_keeps_top_magnitudes() {
+        let mut b = NetworkBuilder::new(4, 6, 6);
+        let x = b.input();
+        let x = b.conv(x, 1, 1, 1);
+        b.global_avg_pool(x);
+        let net = b.build();
+        let mut params = Params::init(&net, 1);
+        if let Some(w) = params.conv_weights_mut(1) {
+            for (c, v) in [0.1, -0.9, 0.5, 0.2].into_iter().enumerate() {
+                w.set(0, c, 0, 0, v);
+            }
+        }
+        let mask = nm_mask(&net, &params, 2, 4);
+        assert_eq!(
+            mask.masks[1],
+            Some(vec![false, true, true, false]),
+            "keeps |-0.9| and |0.5|"
+        );
+    }
+
+    #[test]
+    fn nm_linear_groups_along_in_features() {
+        let net = tiny_net();
+        let mut params = Params::init(&net, 9);
+        nm_prune(&net, &mut params, 1, 2);
+        let lin = params.linear(4);
+        for row in lin.w.chunks(lin.in_features) {
+            for pair in row.chunks(2) {
+                let nnz = pair.iter().filter(|v| **v != 0.0).count();
+                assert!(nnz <= 1, "1:2 row group has {nnz} nonzeros");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= m")]
+    fn nm_rejects_n_above_m() {
+        let net = tiny_net();
+        let params = Params::init(&net, 3);
+        nm_mask(&net, &params, 5, 4);
     }
 
     #[test]

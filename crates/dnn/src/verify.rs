@@ -39,6 +39,7 @@
 
 use crate::graph::{LayerParams, Network, NodeId, Op, Params, ValueShape};
 use hd_tensor::conv::{conv_out_dim, Padding};
+use hd_tensor::norm::Affine;
 use hd_tensor::{CompressionScheme, Shape3};
 use std::fmt;
 
@@ -148,6 +149,16 @@ pub enum DiagKind {
         /// Geometry the params hold.
         actual: String,
     },
+    /// A per-channel companion parameter (BN affine or bias) no longer
+    /// matches the layer's output-channel count — the classic leftover of
+    /// a channel-removal pass that resized weights but not their
+    /// companions.
+    OrphanedBn {
+        /// Channels the op produces.
+        expected: usize,
+        /// Channels the companion parameter covers.
+        got: usize,
+    },
     /// `params.layers` is not index-aligned with the node list.
     RaggedParams {
         /// Node count.
@@ -194,6 +205,7 @@ impl DiagKind {
             DiagKind::PoolRemainder { .. } => "pool-remainder",
             DiagKind::MissingParams => "missing-params",
             DiagKind::ParamShapeMismatch { .. } => "param-shape-mismatch",
+            DiagKind::OrphanedBn { .. } => "orphaned-bn",
             DiagKind::RaggedParams { .. } => "ragged-params",
             DiagKind::GlbOverflow { .. } => "glb-overflow",
             DiagKind::SparseIneligible { .. } => "sparse-ineligible",
@@ -269,6 +281,12 @@ impl fmt::Display for DiagKind {
             DiagKind::MissingParams => write!(f, "weighted node has no parameter entry"),
             DiagKind::ParamShapeMismatch { expected, actual } => {
                 write!(f, "params have geometry {actual}, op implies {expected}")
+            }
+            DiagKind::OrphanedBn { expected, got } => {
+                write!(
+                    f,
+                    "per-channel params cover {got} channels, layer produces {expected}"
+                )
             }
             DiagKind::RaggedParams { expected, got } => {
                 write!(f, "params hold {got} entries for {expected} nodes")
@@ -692,7 +710,7 @@ fn check_params(net: &Network, params: &Params, diags: &mut Vec<Diagnostic>) {
             .first()
             .and_then(|&src| net.value_shape(src).as_map());
         match (&node.op, entry) {
-            (Op::Conv(spec), Some(LayerParams::Conv { w, .. })) => {
+            (Op::Conv(spec), Some(LayerParams::Conv { w, b, bn })) => {
                 let in_c = in_shape.map(|s| s.c).unwrap_or(w.c());
                 let want = (spec.out_channels, in_c, spec.kernel, spec.kernel);
                 let got = (w.k(), w.c(), w.r(), w.s());
@@ -706,8 +724,26 @@ fn check_params(net: &Network, params: &Params, diags: &mut Vec<Diagnostic>) {
                         },
                     ));
                 }
+                // Per-channel companions must track the output width —
+                // channel-removal passes that resize `w` but forget the
+                // BN affine or bias leave these orphaned.
+                for cover in [b.as_ref().map(Vec::len), bn.as_ref().map(Affine::channels)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if cover != spec.out_channels {
+                        diags.push(Diagnostic::at(
+                            net,
+                            id,
+                            DiagKind::OrphanedBn {
+                                expected: spec.out_channels,
+                                got: cover,
+                            },
+                        ));
+                    }
+                }
             }
-            (Op::DwConv { kernel, .. }, Some(LayerParams::DwConv { w, .. })) => {
+            (Op::DwConv { kernel, .. }, Some(LayerParams::DwConv { w, bn })) => {
                 let in_c = in_shape.map(|s| s.c).unwrap_or(w.k());
                 let want = (in_c, 1, *kernel, *kernel);
                 let got = (w.k(), w.c(), w.r(), w.s());
@@ -720,6 +756,18 @@ fn check_params(net: &Network, params: &Params, diags: &mut Vec<Diagnostic>) {
                             actual: format!("{}x{}x{}x{}", got.0, got.1, got.2, got.3),
                         },
                     ));
+                }
+                if let Some(bn) = bn {
+                    if bn.channels() != in_c {
+                        diags.push(Diagnostic::at(
+                            net,
+                            id,
+                            DiagKind::OrphanedBn {
+                                expected: in_c,
+                                got: bn.channels(),
+                            },
+                        ));
+                    }
                 }
             }
             (
@@ -874,6 +922,137 @@ mod tests {
                 .collect();
             assert!(errors.is_empty(), "zoo net rejected: {errors:?}");
         }
+    }
+
+    #[test]
+    fn restructured_graph_is_clean() {
+        // Structured pruning rewrites shapes from scratch; verify must
+        // accept the result without complaint.
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let stem = b.conv(x, 8, 3, 1);
+        let y = b.conv(stem, 8, 3, 1);
+        let j = b.add(stem, y);
+        let x = b.global_avg_pool(j);
+        b.linear(x, 5);
+        let net = b.build();
+        let params = Params::init(&net, 21);
+        let r =
+            crate::prune::structured_prune(&net, &params, &crate::prune::StructuredCfg::default());
+        assert!(verify_strict(&r.net, Some(&r.params), &Limits::default()).is_ok());
+    }
+
+    #[test]
+    fn orphaned_bn_after_channel_removal_is_rejected() {
+        let net = clean_net();
+        let mut params = Params::init(&net, 7);
+        // Simulate a broken channel-removal pass: shrink the conv weights
+        // and spec but leave the BN affine at the old width.
+        let keep = [true, true, false, false];
+        let mut nodes = net.nodes().to_vec();
+        if let Op::Conv(spec) = &mut nodes[1].op {
+            spec.out_channels = 2;
+        }
+        let mut shapes: Vec<ValueShape> = (0..net.len()).map(|i| net.value_shape(i)).collect();
+        shapes[1] = ValueShape::Map(Shape3::new(2, 8, 8));
+        shapes[2] = ValueShape::Map(Shape3::new(2, 4, 4));
+        shapes[3] = ValueShape::Vector(2);
+        let broken = Network::from_raw_parts(
+            nodes,
+            net.input_shape(),
+            shapes,
+            (0..net.len()).map(|i| net.name(i).to_string()).collect(),
+        );
+        if let Some(LayerParams::Conv { w, .. }) = &mut params.layers[1] {
+            *w = w.select_k(&keep);
+        }
+        if let Some(LayerParams::Linear { w, in_features, .. }) = &mut params.layers[4] {
+            *in_features = 2;
+            w.truncate(10 * 2);
+        }
+        let diags = verify(&broken, Some(&params), &Limits::default());
+        assert!(
+            diags.iter().any(|d| matches!(
+                &d.kind,
+                DiagKind::OrphanedBn {
+                    expected: 2,
+                    got: 4
+                }
+            )),
+            "orphaned BN not caught: {diags:?}"
+        );
+        assert_eq!(
+            diags
+                .iter()
+                .find(|d| matches!(d.kind, DiagKind::OrphanedBn { .. }))
+                .map(|d| d.kind.rule()),
+            Some("orphaned-bn")
+        );
+    }
+
+    #[test]
+    fn residual_add_channel_mismatch_is_rejected() {
+        // Shrinking only one operand of a residual add must trip
+        // AddMismatch: a restructure pass has to keep the class unified.
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let stem = b.conv(x, 8, 3, 1);
+        let y = b.conv(stem, 8, 3, 1);
+        let j = b.add(stem, y);
+        b.global_avg_pool(j);
+        let net = b.build();
+        let mut nodes = net.nodes().to_vec();
+        if let Op::Conv(spec) = &mut nodes[2].op {
+            spec.out_channels = 4;
+        }
+        let mut shapes: Vec<ValueShape> = (0..net.len()).map(|i| net.value_shape(i)).collect();
+        shapes[2] = ValueShape::Map(Shape3::new(4, 8, 8));
+        let broken = Network::from_raw_parts(
+            nodes,
+            net.input_shape(),
+            shapes,
+            (0..net.len()).map(|i| net.name(i).to_string()).collect(),
+        );
+        let diags = verify_network(&broken);
+        assert!(
+            diags.iter().any(|d| matches!(
+                &d.kind,
+                DiagKind::AddMismatch { left, right }
+                    if left.c != right.c
+            )),
+            "add mismatch not caught: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn conv_bias_length_mismatch_is_rejected() {
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv_spec(
+            x,
+            ConvSpec {
+                bias: true,
+                batch_norm: false,
+                ..ConvSpec::standard(4, 3, 1)
+            },
+        );
+        b.global_avg_pool(x);
+        let net = b.build();
+        let mut params = Params::init(&net, 9);
+        if let Some(LayerParams::Conv { b: Some(b), .. }) = &mut params.layers[1] {
+            b.pop();
+        }
+        let diags = verify(&net, Some(&params), &Limits::default());
+        assert!(
+            diags.iter().any(|d| matches!(
+                &d.kind,
+                DiagKind::OrphanedBn {
+                    expected: 4,
+                    got: 3
+                }
+            )),
+            "short bias not caught: {diags:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the pruning invariants the robustness matrix leans
+//! on: N:M group structure, structured channel removal leaving no
+//! dangling channels, and `Mask` sparsity accounting.
+
+use hd_dnn::graph::{LayerParams, Network, NetworkBuilder, Params};
+use hd_dnn::prune::{magnitude_prune_global, nm_mask, nm_prune, structured_prune, StructuredCfg};
+use hd_dnn::verify::{verify_strict, Limits};
+use hd_tensor::Tensor3;
+use proptest::prelude::*;
+
+fn conv_stack(in_c: usize, hw: usize, widths: &[usize]) -> Network {
+    let mut b = NetworkBuilder::new(in_c, hw, hw);
+    let mut x = b.input();
+    for &k in widths {
+        x = b.conv(x, k, 3, 1);
+    }
+    let x = b.global_avg_pool(x);
+    b.linear(x, 4);
+    b.build()
+}
+
+fn residual_net(in_c: usize, hw: usize, width: usize) -> Network {
+    let mut b = NetworkBuilder::new(in_c, hw, hw);
+    let x = b.input();
+    let stem = b.conv(x, width, 3, 1);
+    let y = b.conv(stem, width, 3, 1);
+    let j = b.add(stem, y);
+    let x = b.global_avg_pool(j);
+    b.linear(x, 3);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every M-group of an N:M conv mask holds at most N nonzeros, and
+    /// the survivors are exactly the group's top-N magnitudes: no pruned
+    /// weight in a group strictly exceeds a kept one.
+    #[test]
+    fn nm_groups_keep_top_n(
+        seed in 0u64..500,
+        n in 1usize..4,
+        extra in 0usize..3,
+        in_c in 3usize..9,
+    ) {
+        let m = n + extra;
+        let net = conv_stack(in_c, 8, &[5, 4]);
+        let params = Params::init(&net, seed);
+        let mask = nm_mask(&net, &params, n, m);
+        for &id in &net.conv_nodes() {
+            let w = match &params.layers[id] {
+                Some(LayerParams::Conv { w, .. }) => w,
+                other => panic!("conv node without conv params: {other:?}"),
+            };
+            let mk = mask.masks[id].as_ref().expect("conv is masked");
+            for k in 0..w.k() {
+                for r in 0..w.r() {
+                    for s in 0..w.s() {
+                        for c0 in (0..w.c()).step_by(m) {
+                            let group: Vec<usize> = (c0..(c0 + m).min(w.c()))
+                                .map(|c| w.index(k, c, r, s))
+                                .collect();
+                            let nnz = group.iter().filter(|&&i| mk[i]).count();
+                            prop_assert!(nnz <= n, "group nnz {} > {}", nnz, n);
+                            // Top-N property: every kept weight dominates
+                            // every pruned one (ties break toward keeping
+                            // the lower index, so >= suffices).
+                            let min_kept = group
+                                .iter()
+                                .filter(|&&i| mk[i])
+                                .map(|&i| w.data()[i].abs())
+                                .fold(f32::INFINITY, f32::min);
+                            for &i in group.iter().filter(|&&i| !mk[i]) {
+                                prop_assert!(
+                                    w.data()[i].abs() <= min_kept,
+                                    "pruned |{}| beats kept |{}|",
+                                    w.data()[i], min_kept
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applying the N:M mask leaves a forward pass identical to manually
+    /// zeroing the same weights, and a second application is idempotent.
+    #[test]
+    fn nm_prune_is_idempotent(seed in 0u64..200, n in 1usize..3) {
+        let m = 4usize;
+        let net = conv_stack(4, 8, &[4]);
+        let mut params = Params::init(&net, seed);
+        let mask1 = nm_prune(&net, &mut params, n, m);
+        let after_once = params.clone();
+        let mask2 = nm_prune(&net, &mut params, n, m);
+        prop_assert_eq!(&params, &after_once);
+        prop_assert_eq!(mask1.overall_sparsity(), mask2.overall_sparsity());
+    }
+
+    /// Structured pruning leaves zero dangling channels on plain stacks:
+    /// the rewritten graph passes strict verification, every conv's
+    /// weight K/C axes match its spec and input, and the forward pass
+    /// still produces finite logits.
+    #[test]
+    fn structured_leaves_no_dangling_channels(
+        seed in 0u64..200,
+        w1 in 4usize..10,
+        w2 in 4usize..10,
+        keep_pct in 30u32..100,
+    ) {
+        let net = conv_stack(3, 8, &[w1, w2]);
+        let params = Params::init(&net, seed);
+        let cfg = StructuredCfg { keep_frac: f64::from(keep_pct) / 100.0, min_keep: 2 };
+        let r = structured_prune(&net, &params, &cfg);
+        prop_assert!(verify_strict(&r.net, Some(&r.params), &Limits::default()).is_ok());
+        for &id in &r.net.conv_nodes() {
+            let view = r.params.conv(id);
+            let spec = match &r.net.nodes()[id].op {
+                hd_dnn::graph::Op::Conv(spec) => *spec,
+                other => panic!("conv node without conv op: {other:?}"),
+            };
+            prop_assert_eq!(view.w.k(), spec.out_channels);
+            if let Some(bn) = view.bn {
+                prop_assert_eq!(bn.channels(), spec.out_channels);
+            }
+        }
+        let out = r.net.forward(&r.params, &Tensor3::full(3, 8, 8, 0.5));
+        prop_assert!(out.logits().iter().all(|v| v.is_finite()));
+    }
+
+    /// Same guarantee across a residual add: both operands of the add
+    /// keep identical channel sets, at any keep fraction.
+    #[test]
+    fn structured_residual_stays_coherent(
+        seed in 0u64..200,
+        width in 4usize..12,
+        keep_pct in 20u32..100,
+    ) {
+        let net = residual_net(3, 8, width);
+        let params = Params::init(&net, seed);
+        let cfg = StructuredCfg { keep_frac: f64::from(keep_pct) / 100.0, min_keep: 2 };
+        let r = structured_prune(&net, &params, &cfg);
+        prop_assert!(verify_strict(&r.net, Some(&r.params), &Limits::default()).is_ok());
+        prop_assert_eq!(r.params.conv(1).w.k(), r.params.conv(2).w.k());
+    }
+
+    /// `Mask::overall_sparsity` and `layer_sparsity` agree with a naive
+    /// recount of the mask bits.
+    #[test]
+    fn mask_sparsity_matches_naive_recount(
+        seed in 0u64..300,
+        sparsity in 0.1f64..0.95,
+    ) {
+        let net = conv_stack(3, 8, &[5, 6]);
+        let params = Params::init(&net, seed);
+        let mask = magnitude_prune_global(&net, &params, sparsity, 1);
+        let mut pruned = 0usize;
+        let mut total = 0usize;
+        for (id, entry) in mask.masks.iter().enumerate() {
+            let Some(bits) = entry else { continue };
+            let layer_pruned = bits.iter().filter(|&&b| !b).count();
+            pruned += layer_pruned;
+            total += bits.len();
+            let naive_layer = layer_pruned as f64 / bits.len() as f64;
+            let reported = mask.layer_sparsity(id).expect("masked layer reports");
+            prop_assert!((reported - naive_layer).abs() < 1e-12,
+                "layer {}: {} vs {}", id, reported, naive_layer);
+        }
+        let naive = pruned as f64 / total as f64;
+        prop_assert!((mask.overall_sparsity() - naive).abs() < 1e-12);
+    }
+}

@@ -274,6 +274,61 @@ impl Tensor4 {
         self.data[idx] = v;
     }
 
+    /// Copies the output channels (`K` axis) selected by `keep` into a new
+    /// tensor, preserving their original order. Used by structured channel
+    /// pruning to physically remove whole filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.k()`.
+    pub fn select_k(&self, keep: &[bool]) -> Tensor4 {
+        assert_eq!(keep.len(), self.k, "keep mask length must equal K");
+        let new_k = keep.iter().filter(|&&b| b).count();
+        let filter = self.c * self.r * self.s;
+        let mut data = Vec::with_capacity(new_k * filter);
+        for (k, &kept) in keep.iter().enumerate() {
+            if kept {
+                data.extend_from_slice(&self.data[k * filter..(k + 1) * filter]);
+            }
+        }
+        Tensor4 {
+            k: new_k,
+            c: self.c,
+            r: self.r,
+            s: self.s,
+            data,
+        }
+    }
+
+    /// Copies the input channels (`C` axis) selected by `keep` into a new
+    /// tensor, preserving their original order. Used by structured channel
+    /// pruning to shrink consumers of a channel-removed producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.c()`.
+    pub fn select_c(&self, keep: &[bool]) -> Tensor4 {
+        assert_eq!(keep.len(), self.c, "keep mask length must equal C");
+        let new_c = keep.iter().filter(|&&b| b).count();
+        let plane = self.r * self.s;
+        let mut data = Vec::with_capacity(self.k * new_c * plane);
+        for k in 0..self.k {
+            for (c, &kept) in keep.iter().enumerate() {
+                if kept {
+                    let start = (k * self.c + c) * plane;
+                    data.extend_from_slice(&self.data[start..start + plane]);
+                }
+            }
+        }
+        Tensor4 {
+            k: self.k,
+            c: new_c,
+            r: self.r,
+            s: self.s,
+            data,
+        }
+    }
+
     /// Number of non-zero weights.
     pub fn nnz(&self) -> usize {
         crate::nnz(&self.data)
@@ -396,5 +451,53 @@ mod tests {
     #[should_panic(expected = "buffer does not match")]
     fn from_vec_wrong_len_panics() {
         let _ = Tensor3::from_vec(1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn select_k_keeps_filters_in_order() {
+        let mut w = Tensor4::zeros(3, 2, 2, 2);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let kept = w.select_k(&[true, false, true]);
+        assert_eq!((kept.k(), kept.c(), kept.r(), kept.s()), (2, 2, 2, 2));
+        // Filter 0 unchanged, filter 1 is the old filter 2.
+        assert_eq!(kept.at(0, 0, 0, 0), w.at(0, 0, 0, 0));
+        assert_eq!(kept.at(1, 1, 1, 1), w.at(2, 1, 1, 1));
+    }
+
+    #[test]
+    fn select_c_keeps_input_channels_in_order() {
+        let mut w = Tensor4::zeros(2, 3, 2, 2);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let kept = w.select_c(&[false, true, true]);
+        assert_eq!((kept.k(), kept.c(), kept.r(), kept.s()), (2, 2, 2, 2));
+        for k in 0..2 {
+            for (new_c, old_c) in [(0usize, 1usize), (1, 2)] {
+                for r in 0..2 {
+                    for s in 0..2 {
+                        assert_eq!(kept.at(k, new_c, r, s), w.at(k, old_c, r, s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_all_is_identity_select_none_is_empty() {
+        let mut w = Tensor4::zeros(2, 2, 3, 3);
+        w.init_he(&mut StdRng::seed_from_u64(3));
+        assert_eq!(w.select_k(&[true, true]).data(), w.data());
+        assert_eq!(w.select_c(&[true, true]).data(), w.data());
+        assert_eq!(w.select_k(&[false, false]).k(), 0);
+        assert_eq!(w.select_c(&[false, false]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep mask length")]
+    fn select_k_wrong_len_panics() {
+        let _ = Tensor4::zeros(2, 2, 1, 1).select_k(&[true]);
     }
 }

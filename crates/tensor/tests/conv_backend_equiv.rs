@@ -193,6 +193,95 @@ proptest! {
         assert_close(reference.data(), gemm.data());
     }
 
+    /// N:M-patterned weights (per-M-group along the input-channel axis at
+    /// every fixed (k, r, s), keep the top-N magnitudes): the structured
+    /// zero pattern the sparse-victim matrix deploys. All three backends
+    /// must agree, and SparseCsc stays bit-identical to Direct.
+    #[test]
+    fn backends_agree_on_nm_patterned_weights(
+        seed in 0u64..10_000,
+        n in 1usize..3,
+        kernel in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        with_bias in 0u32..2,
+    ) {
+        let m = 4usize;
+        let in_c = 8usize;
+        let out_c = 5usize;
+        let x = dense_tensor(seed, in_c, 9, 9);
+        let mut wt = random_weights(seed ^ 0x24AA, out_c, in_c, kernel);
+        // Impose the N:M pattern: zero everything but the top-N of each
+        // M-group along C.
+        for k in 0..out_c {
+            for r in 0..kernel {
+                for s in 0..kernel {
+                    for c0 in (0..in_c).step_by(m) {
+                        let mut group: Vec<usize> = (c0..(c0 + m).min(in_c))
+                            .map(|c| wt.index(k, c, r, s))
+                            .collect();
+                        group.sort_by(|&a, &b| {
+                            wt.data()[b].abs().total_cmp(&wt.data()[a].abs())
+                        });
+                        for &i in group.iter().skip(n) {
+                            wt.data_mut()[i] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        let bias: Option<Vec<f32>> = (with_bias == 1).then(|| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB1A5);
+            (0..out_c).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        });
+        let (direct, gemm) = run_both(&x, &wt, bias.as_deref(), stride, Padding::Same);
+        assert_close(direct.data(), gemm.data());
+    }
+
+    /// Channel-removed weights (the structured-pruning shapes): slicing
+    /// output filters with `select_k` and input channels with `select_c`
+    /// yields odd K/C combinations the backends rarely see; they must
+    /// agree on all of them, with the sliced input channels removed from
+    /// the image too.
+    #[test]
+    fn backends_agree_on_channel_removed_weights(
+        seed in 0u64..10_000,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        keep_k in 1usize..6,
+        keep_c in 1usize..5,
+    ) {
+        let (out_c, in_c) = (6usize, 5usize);
+        let wt = random_weights(seed ^ 0x5E1E, out_c, in_c, kernel);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+        let mut k_mask = vec![false; out_c];
+        let mut c_mask = vec![false; in_c];
+        for _ in 0..keep_k {
+            k_mask[rng.gen_range(0..out_c)] = true;
+        }
+        for _ in 0..keep_c {
+            c_mask[rng.gen_range(0..in_c)] = true;
+        }
+        // Always keep at least one of each axis.
+        k_mask[0] = true;
+        c_mask[0] = true;
+        let wt = wt.select_k(&k_mask).select_c(&c_mask);
+        let full = dense_tensor(seed, in_c, 8, 8);
+        let mut x = Tensor3::zeros(wt.c(), 8, 8);
+        let mut dst = 0;
+        for (c, &keep) in c_mask.iter().enumerate() {
+            if keep {
+                for y in 0..8 {
+                    for xx in 0..8 {
+                        x.set(dst, y, xx, full.at(c, y, xx));
+                    }
+                }
+                dst += 1;
+            }
+        }
+        let (direct, gemm) = run_both(&x, &wt, None, stride, Padding::Same);
+        assert_close(direct.data(), gemm.data());
+    }
+
     /// The weight-gradient GEMM agrees with the direct loop; `SparseCsc`
     /// dispatches weight gradients to the GEMM path bit-for-bit.
     #[test]

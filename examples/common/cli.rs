@@ -7,6 +7,8 @@
 //! ```text
 //! -j, --parallelism N       prober worker threads (default: all cores)
 //! -b, --backend KIND        conv backend: direct | gemm | sparse
+//! -p, --prune MODE          victim pruning: unstructured | N:M (e.g. 2:4)
+//!                           | structured[:KEEP_FRAC]
 //! -o, --obs PATH            enable telemetry; write JSON to PATH and a
 //!                           Chrome trace next to it (.trace.json)
 //! -h, --help                usage
@@ -29,8 +31,116 @@ pub struct CliArgs {
     pub parallelism: Option<usize>,
     /// `-b KIND`: simulator conv backend (`None` = crate default).
     pub backend: Option<ConvBackend>,
+    /// `-p MODE`: how the victim is pruned before the attack.
+    pub prune: PruneArg,
     /// `-o PATH`: telemetry JSON output path; presence enables telemetry.
     pub obs_out: Option<PathBuf>,
+}
+
+/// Victim pruning mode selected with `-p`/`--prune`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PruneArg {
+    /// Magnitude pruning to the paper's sparsity profile (the default).
+    #[default]
+    Unstructured,
+    /// N:M fine-grained sparsity along the input-channel axis.
+    Nm {
+        /// Kept weights per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+    /// Structured channel removal (shapes physically shrink).
+    Structured {
+        /// Fraction of each prunable class's channels kept.
+        keep_frac: f64,
+    },
+}
+
+impl PruneArg {
+    /// Parses `unstructured`, `N:M` (e.g. `2:4`), `structured`, or
+    /// `structured:FRAC` (e.g. `structured:0.6`).
+    pub fn parse(v: &str) -> Result<PruneArg, String> {
+        if v == "unstructured" {
+            return Ok(PruneArg::Unstructured);
+        }
+        if v == "structured" {
+            return Ok(PruneArg::Structured { keep_frac: 0.5 });
+        }
+        if let Some(frac) = v.strip_prefix("structured:") {
+            let keep_frac: f64 = frac
+                .parse()
+                .map_err(|_| format!("invalid keep fraction {frac:?}"))?;
+            if !(keep_frac > 0.0 && keep_frac <= 1.0) {
+                return Err(format!("keep fraction {keep_frac} not in (0, 1]"));
+            }
+            return Ok(PruneArg::Structured { keep_frac });
+        }
+        if let Some((n, m)) = v.split_once(':') {
+            let (n, m) = (
+                n.parse::<usize>()
+                    .map_err(|_| format!("invalid N in {v:?}"))?,
+                m.parse::<usize>()
+                    .map_err(|_| format!("invalid M in {v:?}"))?,
+            );
+            if n == 0 || n > m {
+                return Err(format!("N:M needs 1 <= N <= M, got {n}:{m}"));
+            }
+            return Ok(PruneArg::Nm { n, m });
+        }
+        Err(format!(
+            "unknown pruning mode {v:?} (expected unstructured, N:M, or structured[:FRAC])"
+        ))
+    }
+
+    /// Human-readable label for banners.
+    pub fn label(&self) -> String {
+        match self {
+            PruneArg::Unstructured => "unstructured (paper profile)".to_string(),
+            PruneArg::Nm { n, m } => format!("{n}:{m} fine-grained"),
+            PruneArg::Structured { keep_frac } => {
+                format!("structured (keep {:.0}% of channels)", keep_frac * 100.0)
+            }
+        }
+    }
+}
+
+/// Applies the selected pruning mode to a freshly-initialized victim,
+/// returning the (possibly restructured) network and parameters.
+/// Unstructured mode uses the paper's sparsity profile with `seed`;
+/// structured mode removes channels first and then magnitude-prunes the
+/// survivors with the same profile shape.
+pub fn prune_victim(
+    net: hd_dnn::graph::Network,
+    mut params: hd_dnn::graph::Params,
+    mode: PruneArg,
+    seed: u64,
+) -> (hd_dnn::graph::Network, hd_dnn::graph::Params) {
+    match mode {
+        PruneArg::Unstructured => {
+            let profile = hd_dnn::prune::paper_profile(&net);
+            hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, seed);
+            (net, params)
+        }
+        PruneArg::Nm { n, m } => {
+            hd_dnn::prune::nm_prune(&net, &mut params, n, m);
+            (net, params)
+        }
+        PruneArg::Structured { keep_frac } => {
+            let r = hd_dnn::prune::structured_prune(
+                &net,
+                &params,
+                &hd_dnn::prune::StructuredCfg {
+                    keep_frac,
+                    min_keep: 2,
+                },
+            );
+            let (net, mut params) = (r.net, r.params);
+            let profile = hd_dnn::prune::paper_profile(&net);
+            hd_dnn::prune::magnitude_prune_profile(&net, &mut params, &profile);
+            (net, params)
+        }
+    }
 }
 
 impl CliArgs {
@@ -90,6 +200,9 @@ impl CliArgs {
                     })?;
                     args.backend = Some(backend);
                 }
+                "-p" | "--prune" => {
+                    args.prune = PruneArg::parse(&value_for(flag)?)?;
+                }
                 "-o" | "--obs" => {
                     args.obs_out = Some(PathBuf::from(value_for(flag)?));
                 }
@@ -116,6 +229,8 @@ fn usage(example: &str) -> String {
          options:\n\
          \x20 -j, --parallelism N   prober worker threads (default: all cores)\n\
          \x20 -b, --backend KIND    conv backend: direct | gemm | sparse (default: gemm)\n\
+         \x20 -p, --prune MODE      victim pruning: unstructured | N:M (e.g. 2:4) |\n\
+         \x20                       structured[:KEEP_FRAC] (default: unstructured)\n\
          \x20 -o, --obs PATH        enable telemetry; write summary JSON to PATH and a\n\
          \x20                       Chrome trace (load in chrome://tracing) next to it\n\
          \x20 -h, --help            show this help"

@@ -13,8 +13,13 @@
 //! cargo run --release --example steal_resnet -- -j 1         # serial baseline
 //! cargo run --release --example steal_resnet -- -b direct    # direct conv loop
 //! cargo run --release --example steal_resnet -- -o obs.json  # telemetry export
+//! cargo run --release --example steal_resnet -- -p 2:4       # N:M sparse victim
 //! cargo run --release --example steal_resnet -- --help       # all options
 //! ```
+//!
+//! `-p structured[:FRAC]` runs the channel-removal pass first (residual
+//! adds keep both operands on one channel set), so the attack reads the
+//! physically shrunken widths off the device.
 //!
 //! `-j N` caps the prober's worker threads and `-b` selects the simulator's
 //! convolution backend; any combination produces a bit-identical result
@@ -32,11 +37,11 @@ fn main() {
     let args = cli::CliArgs::parse("steal_resnet");
 
     let net = hd_dnn::zoo::resnet18(10);
-    let mut params = hd_dnn::graph::Params::init(&net, 4);
-    let profile = hd_dnn::prune::paper_profile(&net);
-    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 5);
+    let params = hd_dnn::graph::Params::init(&net, 4);
+    let (net, params) = cli::prune_victim(net, params, args.prune, 5);
     println!(
-        "victim: CIFAR ResNet-18, {} conv layers, {} weights after pruning",
+        "victim: CIFAR ResNet-18 ({}), {} conv layers, {} weights after pruning",
+        args.prune.label(),
         net.conv_nodes().len(),
         net.sparse_weight_count(&params)
     );

@@ -10,8 +10,15 @@
 //! cargo run --release --example steal_vgg -- -j 1           # serial baseline
 //! cargo run --release --example steal_vgg -- -b direct      # direct conv loop
 //! cargo run --release --example steal_vgg -- -o obs.json    # telemetry export
+//! cargo run --release --example steal_vgg -- -p 2:4         # N:M sparse victim
+//! cargo run --release --example steal_vgg -- -p structured  # channel-removed victim
 //! cargo run --release --example steal_vgg -- --help         # all options
 //! ```
+//!
+//! `-p` selects how the victim was pruned: `unstructured` (the paper's
+//! magnitude profile), `N:M` fine-grained sparsity, or `structured[:FRAC]`
+//! channel removal — the latter physically shrinks layer shapes, so the
+//! attack recovers the pruned widths, not the textbook VGG-S ones.
 //!
 //! `-j N` caps the prober's worker threads and `-b` selects the simulator's
 //! convolution backend; any combination produces a bit-identical result
@@ -31,11 +38,11 @@ fn main() {
     let args = cli::CliArgs::parse("steal_vgg");
 
     let net = hd_dnn::zoo::vgg_s(10);
-    let mut params = hd_dnn::graph::Params::init(&net, 3);
-    let profile = hd_dnn::prune::paper_profile(&net);
-    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 4);
+    let params = hd_dnn::graph::Params::init(&net, 3);
+    let (net, params) = cli::prune_victim(net, params, args.prune, 4);
     println!(
-        "victim: VGG-S, {} dense weights, {} after pruning",
+        "victim: VGG-S ({}), {} dense weights, {} after pruning",
+        args.prune.label(),
         net.dense_weight_count(&params),
         net.sparse_weight_count(&params)
     );
