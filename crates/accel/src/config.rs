@@ -85,6 +85,29 @@ impl fmt::Display for DramConfig {
     }
 }
 
+/// Numeric precision of the PE-array datapath.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full-precision f32 execution (the repo's bit-identity baseline).
+    #[default]
+    F32,
+    /// INT8 post-training-quantized execution: the device builds a
+    /// [`hd_dnn::quantize::QuantizedNet`] on first use (BN folded, i32
+    /// accumulators) and runs every inference through it. INT8 MAC units
+    /// retire two MACs per f32-equivalent cycle slot, halving the compute
+    /// phase; the encoding channel sees the dequantized activations.
+    Int8,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "f32"),
+            Precision::Int8 => write!(f, "int8"),
+        }
+    }
+}
+
 /// Full accelerator configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AccelConfig {
@@ -141,6 +164,10 @@ pub struct AccelConfig {
     /// [`ConvBackend::SparseCsc`] path. Like the backend, it never changes
     /// traces or timings — only simulation speed.
     pub backend_policy: BackendPolicy,
+    /// PE-array numeric precision. Unlike the backend knobs this *does*
+    /// change the functional output (INT8 is a lossy deployment transform),
+    /// which is exactly what the quantization experiments measure.
+    pub compute: Precision,
 }
 
 /// A rejected accelerator configuration (from [`AccelConfig::builder`]).
@@ -268,6 +295,12 @@ impl AccelConfigBuilder {
     /// Kernel-dispatch policy.
     pub fn backend_policy(mut self, policy: BackendPolicy) -> Self {
         self.cfg.backend_policy = policy;
+        self
+    }
+
+    /// PE-array numeric precision.
+    pub fn precision(mut self, compute: Precision) -> Self {
+        self.cfg.compute = compute;
         self
     }
 
@@ -411,6 +444,7 @@ impl AccelConfig {
             separate_batch_norm: false,
             conv_backend: ConvBackend::default(),
             backend_policy: BackendPolicy::default(),
+            compute: Precision::F32,
         }
     }
 
@@ -438,6 +472,7 @@ impl AccelConfig {
             separate_batch_norm: false,
             conv_backend: ConvBackend::default(),
             backend_policy: BackendPolicy::default(),
+            compute: Precision::F32,
         }
     }
 
@@ -475,6 +510,12 @@ impl AccelConfig {
     /// Same accelerator with an explicit kernel-dispatch policy.
     pub fn with_backend_policy(mut self, policy: BackendPolicy) -> Self {
         self.backend_policy = policy;
+        self
+    }
+
+    /// Same accelerator with an explicit PE-array precision.
+    pub fn with_precision(mut self, compute: Precision) -> Self {
+        self.compute = compute;
         self
     }
 

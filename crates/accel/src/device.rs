@@ -7,7 +7,7 @@
 //! segregated under [`Device::oracle`] and must only be used by evaluation
 //! harnesses, never by attack code.
 
-use crate::config::AccelConfig;
+use crate::config::{AccelConfig, Precision};
 use crate::defence::{defence_padding_bytes, Defence, NoiseState};
 use crate::encoder::{encode_timing, EncodeTiming};
 use crate::trace_event::{AccessKind, Trace, TraceEvent, TraceSink};
@@ -67,6 +67,9 @@ const WEIGHT_BASE: u64 = 0x1000_0000;
 const ACT_BASE: u64 = 0x8000_0000;
 /// Idle gap inserted between layer phases, in picoseconds.
 const PHASE_GAP_PS: u64 = 100_000; // 100 ns
+/// Seed of the PTQ calibration image set (fixed: quantization must be a
+/// pure function of the sealed network, never of run history).
+const PTQ_CALIB_SEED: u64 = 0x9E37_79B9;
 
 /// The victim device.
 #[derive(Clone, Debug)]
@@ -86,6 +89,10 @@ pub struct Device {
     // shared by every run that takes the sparse path. Built at most once per
     // device; cloning a device before first use clones an empty cell.
     fwd_cache: OnceLock<ForwardCache>,
+    // Lazily-built INT8 network (Precision::Int8 only). PTQ calibration
+    // is seeded, so every device over the same (net, params) quantizes
+    // identically regardless of run order.
+    qnet: OnceLock<hd_dnn::quantize::QuantizedNet>,
 }
 
 /// Ground-truth view handed out by [`Device::oracle`] for evaluation only.
@@ -171,6 +178,7 @@ impl Device {
             noise_seed,
             node_macs,
             fwd_cache: OnceLock::new(),
+            qnet: OnceLock::new(),
         }
     }
 
@@ -184,6 +192,9 @@ impl Device {
     /// backend is bit-identical, so this only changes speed, never the
     /// trace or the encode timings.
     fn forward_for(&self, image: &Tensor3) -> ForwardTrace {
+        if self.cfg.compute == Precision::Int8 {
+            return self.net.forward_quantized(self.quantized_net(), image);
+        }
         let policy = self.cfg.backend_policy;
         let sparse = self.cfg.conv_backend == ConvBackend::SparseCsc
             || (policy.auto_sparse && policy.input_is_sparse(image.nnz(), image.shape().len()));
@@ -199,6 +210,20 @@ impl Device {
             self.net
                 .forward_with_policy(&self.params, image, self.cfg.conv_backend, policy)
         }
+    }
+
+    /// The lazily-built INT8 network ([`Precision::Int8`] devices only).
+    ///
+    /// Calibration uses a fixed-seed uniform image set, so quantization is
+    /// a pure function of the sealed `(net, params)` — every clone and
+    /// every run order produces the same [`hd_dnn::quantize::QuantizedNet`].
+    pub fn quantized_net(&self) -> &hd_dnn::quantize::QuantizedNet {
+        self.qnet.get_or_init(|| {
+            let _span = hd_obs::span("device.ptq", "");
+            let calib =
+                hd_dnn::quantize::calibration_images(self.net.input_shape(), 8, PTQ_CALIB_SEED);
+            hd_dnn::quantize::ptq(&self.net, &self.params, &calib)
+        })
     }
 
     /// Per-run noise generator: a pure function of the defence seed and
@@ -526,7 +551,14 @@ impl Device {
 
     fn compute_duration_ps(&self, id: NodeId) -> Result<u64, DeviceError> {
         let macs = self.node_macs[id]?;
-        let cycles = macs / self.cfg.macs_per_cycle.max(1.0);
+        // INT8 PE arrays pack two 8-bit MACs into each f32-equivalent
+        // multiplier slot, doubling compute throughput; the encode phase
+        // (the side channel) is unaffected.
+        let throughput = match self.cfg.compute {
+            Precision::F32 => self.cfg.macs_per_cycle,
+            Precision::Int8 => self.cfg.macs_per_cycle * 2.0,
+        };
+        let cycles = macs / throughput.max(1.0);
         hd_obs::counter_add(
             "device.compute.cycles",
             self.net.name(id),
@@ -945,6 +977,59 @@ mod tests {
             auto.encode_timings(&stripe),
             dense_only.encode_timings(&stripe)
         );
+    }
+
+    #[test]
+    fn int8_device_runs_and_is_deterministic() {
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        let x = b.conv(x, 6, 3, 1);
+        let x = b.global_avg_pool(x);
+        b.linear(x, 3);
+        let net = b.build();
+        let params = Params::init(&net, 42);
+        let dev = Device::new(
+            net,
+            params,
+            AccelConfig::eyeriss_v2().with_precision(Precision::Int8),
+        );
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        let a = dev.run(&img);
+        let b = dev.run(&img);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // A fresh device over the same sealed state quantizes identically.
+        let dev2 = dev.clone();
+        assert_eq!(dev2.run(&img), a);
+    }
+
+    #[test]
+    fn int8_compute_phase_is_shorter_but_encode_channel_persists() {
+        let mut b = NetworkBuilder::new(2, 8, 8);
+        let x = b.input();
+        b.conv(x, 4, 3, 1);
+        let net = b.build();
+        let params = Params::init(&net, 42);
+        let f32_dev = Device::new(net.clone(), params.clone(), AccelConfig::eyeriss_v2());
+        let i8_dev = Device::new(
+            net,
+            params,
+            AccelConfig::eyeriss_v2().with_precision(Precision::Int8),
+        );
+        // Compute phase: INT8 retires MACs at twice the rate.
+        let f = f32_dev.compute_duration_ps(1).unwrap();
+        let i = i8_dev.compute_duration_ps(1).unwrap();
+        assert!(
+            (i as f64 * 2.0 - f as f64).abs() <= 2.0,
+            "int8 {i} ps should be half of f32 {f} ps"
+        );
+        // Encode timings still track output volume (the channel survives).
+        let img = Tensor3::full(2, 8, 8, 0.5);
+        for (_, t) in i8_dev.encode_timings(&img) {
+            assert!(t.duration_ps > 0);
+        }
     }
 
     // Regression tests for the panics that `DeviceError` replaced: graphs

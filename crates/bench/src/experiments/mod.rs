@@ -7,6 +7,7 @@ mod glb;
 mod observability;
 mod prober_exp;
 mod prune_matrix;
+mod quantized;
 mod solutions;
 mod table1;
 
@@ -18,6 +19,10 @@ pub use prober_exp::prober_table;
 pub use prune_matrix::{
     cross_backend_agreement, prune_matrix, prune_matrix_cells, render_matrix, MatrixCell,
     MATRIX_WIDTH,
+};
+pub use quantized::{
+    f32_int8_recovery_agreement, quantized_cells, quantized_table, render_quantized, QuantCell,
+    QUANT_WIDTH,
 };
 pub use solutions::final_solution_table;
 pub use table1::table1;

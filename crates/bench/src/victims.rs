@@ -1,6 +1,6 @@
 //! Victim construction shared by the experiments.
 
-use hd_accel::{AccelConfig, Device};
+use hd_accel::{AccelConfig, Device, Precision};
 use hd_dnn::graph::{Network, Params};
 use hd_dnn::prune::{
     apply_sparsity_profile, magnitude_prune_profile, nm_prune, paper_profile, structured_prune,
@@ -141,6 +141,29 @@ pub fn paper_victim(model: Model, seed: u64) -> (Device, Network) {
     (device, net)
 }
 
+/// A width-scaled victim deployed INT8-quantized (PTQ, BN folded) on an
+/// otherwise stock Eyeriss-v2 device. The f32 counterpart with the same
+/// `(model, mode, width, seed)` is [`pruned_victim`] with the default
+/// config, so f32-vs-INT8 attack comparisons hold everything else fixed.
+pub fn quantized_victim(model: Model, mode: PruneMode, width: f64, seed: u64) -> (Device, Network) {
+    pruned_victim(
+        model,
+        mode,
+        width,
+        seed,
+        AccelConfig::eyeriss_v2().with_precision(Precision::Int8),
+    )
+}
+
+/// The full-size paper victim deployed INT8-quantized.
+pub fn paper_victim_quantized(model: Model, seed: u64) -> (Device, Network) {
+    paper_victim_with(
+        model,
+        seed,
+        AccelConfig::eyeriss_v2().with_precision(Precision::Int8),
+    )
+}
+
 /// Same victim on a custom accelerator configuration.
 pub fn paper_victim_with(model: Model, seed: u64, cfg: AccelConfig) -> (Device, Network) {
     let net = model.network(10);
@@ -266,6 +289,31 @@ mod tests {
             &hd_dnn::verify::Limits::default()
         )
         .is_ok());
+    }
+
+    #[test]
+    fn quantized_victims_deploy_int8_and_run() {
+        let (dev, net) = quantized_victim(Model::VggS, PruneMode::Unstructured, 0.125, 7);
+        assert_eq!(dev.config().compute, Precision::Int8);
+        // The INT8 device still produces a bus trace the attacker can read.
+        let shape = net.input_shape();
+        let trace = dev.run(&hd_tensor::Tensor3::full(shape.c, shape.h, shape.w, 0.25));
+        assert!(!trace.is_empty());
+        // Pruned weights survive quantization exactly: zeros stay zero, so
+        // the nonzero count never grows (it may shrink slightly — weights
+        // under half a quantization step round to 0).
+        let qnet = dev.quantized_net();
+        let oracle = dev.oracle();
+        let f32_nnz = net.sparse_weight_count(oracle.params);
+        let q_nnz = qnet.sparse_weight_count();
+        assert!(
+            q_nnz <= f32_nnz,
+            "quantization created weights: {q_nnz} > {f32_nnz}"
+        );
+        assert!(
+            q_nnz * 100 >= f32_nnz * 95,
+            "quantization erased too much: {q_nnz} of {f32_nnz}"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod data;
 pub mod graph;
 pub mod io;
 pub mod prune;
+pub mod quantize;
 pub mod sparse_forward;
 pub mod train;
 pub mod verify;

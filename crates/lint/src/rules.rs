@@ -8,6 +8,7 @@
 //! | `no-wallclock` | library crates except `hd-obs` | `Instant::now`, `SystemTime` (nondeterminism sources) |
 //! | `no-bare-spawn` | everywhere but `crates/pool` | `thread::spawn` (must use hd-pool or the scoped executor) |
 //! | `lossy-cast` | trace/byte-accounting files | `as`-casts to integer types (use `hd_tensor::cast`) |
+//! | `no-unsafe` | everywhere but `crates/tensor/src/simd/` | the `unsafe` keyword; inside the SIMD sanctuary it instead demands a nearby `SAFETY:` comment |
 //! | `no-deprecated` | everywhere scanned | uses of items the workspace marks `#[deprecated]` |
 //! | `bad-allow` | everywhere scanned | malformed `hd-lint:` comments (unknown rule, missing reason) |
 //! | `unused-allow` | everywhere scanned | an allow that suppresses nothing |
@@ -23,13 +24,22 @@ use std::fmt;
 /// All enforceable rule names (the two meta-rules `bad-allow` and
 /// `unused-allow` guard the suppression syntax itself and cannot be
 /// suppressed).
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-panic",
     "no-wallclock",
     "no-bare-spawn",
     "lossy-cast",
+    "no-unsafe",
     "no-deprecated",
 ];
+
+/// The one directory where `unsafe` is sanctioned: the SIMD kernels,
+/// whose raw-pointer loads/stores cannot be expressed in safe Rust.
+pub const UNSAFE_SANCTUARY: &str = "crates/tensor/src/simd/";
+
+/// How many lines above an `unsafe` token the sanctuary check searches
+/// for a `SAFETY:` (or `# Safety` doc-section) comment.
+const SAFETY_COMMENT_WINDOW: u32 = 8;
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -219,6 +229,30 @@ pub fn lint_source(rel_path: &str, source: &str, deprecated: &DeprecatedIndex) -
                 ),
             ));
         }
+        if text(t, i) == "unsafe" {
+            if rule_in_scope("no-unsafe", rel_path) {
+                raw.push(vio(
+                    t[i].line,
+                    t[i].col,
+                    "no-unsafe",
+                    format!(
+                        "`unsafe` outside {UNSAFE_SANCTUARY}; move the kernel there or document an allow"
+                    ),
+                ));
+            } else if rel_path.starts_with(UNSAFE_SANCTUARY)
+                && !has_safety_comment(&lexed.comments, t[i].line)
+            {
+                raw.push(vio(
+                    t[i].line,
+                    t[i].col,
+                    "no-unsafe",
+                    format!(
+                        "`unsafe` in the SIMD sanctuary without a `SAFETY:` comment within \
+                         {SAFETY_COMMENT_WINDOW} lines above"
+                    ),
+                ));
+            }
+        }
         if rule_in_scope("no-deprecated", rel_path) && t[i].kind == TokenKind::Ident {
             for (name, decl_file) in &deprecated.names {
                 if t[i].text == *name && decl_file != rel_path {
@@ -344,6 +378,16 @@ fn parse_allow(c: &Comment) -> AllowParse {
         rule: rule.to_string(),
         reason: reason.to_string(),
     }
+}
+
+/// Is there a `SAFETY:` comment (or a `# Safety` doc section line) on
+/// `line` or within [`SAFETY_COMMENT_WINDOW`] lines above it?
+fn has_safety_comment(comments: &[Comment], line: u32) -> bool {
+    let lo = line.saturating_sub(SAFETY_COMMENT_WINDOW);
+    comments.iter().any(|c| {
+        (lo..=line).contains(&c.line)
+            && (c.text.starts_with("SAFETY:") || c.text.starts_with("# Safety"))
+    })
 }
 
 fn text(t: &[Token], i: usize) -> &str {
@@ -509,6 +553,9 @@ pub fn rule_in_scope(rule: &str, rel: &str) -> bool {
                 || rel == "crates/tensor/src/sparse.rs"
                 || rel == "crates/tensor/src/cast.rs"
         }
+        // The SIMD kernels are the one sanctioned `unsafe` site; there the
+        // rule mutates into a SAFETY-comment obligation (see `lint_source`).
+        "no-unsafe" => !rel.starts_with(UNSAFE_SANCTUARY),
         "no-deprecated" => true,
         _ => false,
     }
@@ -593,6 +640,43 @@ mod tests {
         // The worker-pool crate is the sanctioned spawn site.
         let pool = lint_source("crates/pool/src/lib.rs", src, &dep);
         assert!(pool.violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere_but_the_simd_sanctuary() {
+        let src = "fn f(p: *const f32) -> f32 { unsafe { *p } }";
+        let dep = DeprecatedIndex::default();
+        for path in [
+            "crates/dnn/src/graph.rs",
+            "crates/pool/src/lib.rs",
+            "examples/steal_vgg.rs",
+        ] {
+            let r = lint_source(path, src, &dep);
+            assert_eq!(rules_hit(&r), vec!["no-unsafe"], "{path}");
+        }
+        // Inside the sanctuary a SAFETY: comment discharges the rule...
+        let safe = "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller keeps p valid\n    unsafe { *p }\n}";
+        let r = lint_source("crates/tensor/src/simd/x86.rs", safe, &dep);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // ...a `# Safety` doc section counts for `unsafe fn` items...
+        let doc = "/// # Safety\n/// p must be valid.\npub unsafe fn f(p: *const f32) -> f32 {\n    // SAFETY: see above\n    unsafe { *p }\n}";
+        let r = lint_source("crates/tensor/src/simd/neon.rs", doc, &dep);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // ...and a bare unsafe block there is still a violation.
+        let bare = "fn f(p: *const f32) -> f32 { unsafe { *p } }";
+        let r = lint_source("crates/tensor/src/simd/mod.rs", bare, &dep);
+        assert_eq!(rules_hit(&r), vec!["no-unsafe"]);
+        assert!(r.violations[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn unsafe_allow_suppresses_with_reason() {
+        let src = "unsafe impl Send for P {} // hd-lint: allow(no-unsafe) -- raw ptr only crosses with the pool fence";
+        let dep = DeprecatedIndex::default();
+        let r = lint_source("crates/pool/src/lib.rs", src, &dep);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.allows[0].rule, "no-unsafe");
     }
 
     #[test]

@@ -57,7 +57,9 @@ struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
 // Safety: the pointee is `Sync` (shared calls from many threads are fine)
 // and the pointer itself is only ever dereferenced while the owning `map`
 // frame is alive (see `TaskPtr` docs), so sending the pointer is sound.
+// hd-lint: allow(no-unsafe) -- Send/Sync argument in the comment above
 unsafe impl Send for TaskPtr {}
+// hd-lint: allow(no-unsafe) -- Send/Sync argument in the comment above
 unsafe impl Sync for TaskPtr {}
 
 /// One enqueued job: `n` tasks claimed off a shared counter.
@@ -92,6 +94,7 @@ impl Job {
                 // AssertUnwindSafe: on panic the caller resumes the payload
                 // without ever reading the (possibly torn) result slots.
                 if let Err(payload) =
+                    // hd-lint: allow(no-unsafe) -- TaskPtr pointee outlives the job (see TaskPtr docs)
                     catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task.0)(i) }))
                 {
                     self.panicked.store(true, Ordering::Relaxed);
@@ -132,12 +135,15 @@ impl Shared {
 /// Safety: each task index writes only its own slot, and the caller reads
 /// the slots only after every task finished (synchronized via `done`).
 struct SlotPtr<T>(*mut Option<T>);
+// hd-lint: allow(no-unsafe) -- disjoint-slot protocol in the comment above
 unsafe impl<T: Send> Send for SlotPtr<T> {}
+// hd-lint: allow(no-unsafe) -- disjoint-slot protocol in the comment above
 unsafe impl<T: Send> Sync for SlotPtr<T> {}
 
 impl<T> SlotPtr<T> {
     /// Safety: each index must be written at most once, and reads must be
     /// synchronized after all writes (both upheld by the claim protocol).
+    // hd-lint: allow(no-unsafe) -- unsafe fn: obligations documented on the item
     unsafe fn write(&self, i: usize, v: T) {
         *self.0.add(i) = Some(v);
     }
@@ -225,6 +231,7 @@ impl WorkerPool {
             // Safety: index `i` is claimed exactly once, so this is the
             // only write to slot `i`, and the caller reads it only after
             // `finished == n` (see `SlotPtr`).
+            // hd-lint: allow(no-unsafe) -- single writer per slot, reads after `done`
             unsafe { slot_ptr.write(i, v) };
         };
         let task = erase_task(&run);
@@ -284,6 +291,7 @@ impl Drop for WorkerPool {
 /// claimed index has finished before its frame (holding the closure)
 /// unwinds, and claims past `n` never dereference the pointer.
 fn erase_task<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> TaskPtr {
+    // hd-lint: allow(no-unsafe) -- lifetime erasure justified in the fn docs
     TaskPtr(unsafe {
         std::mem::transmute::<&'a (dyn Fn(usize) + Sync + 'a), *const (dyn Fn(usize) + Sync)>(task)
     })

@@ -236,7 +236,74 @@ pub fn conv2d(input: &Tensor3, weight: &Tensor4, bias: Option<&[f32]>, cfg: &Con
         return conv2d_sparse_weights(input, weight, bias, cfg);
     }
 
+    if cfg.stride == 1 {
+        return conv2d_direct_rowwise(input, weight, bias, cfg);
+    }
     conv2d_reference(input, weight, bias, cfg)
+}
+
+/// Stride-1 direct kernel accumulating whole output rows: for each
+/// `(k, p)` the accumulator row starts at the bias and every surviving
+/// weight tap contributes one masked [`crate::simd::axpy_nonzero`] over
+/// the valid output-x run. Per output element the additions happen in
+/// ascending `(c, r, s)` order with the same zero-skipping tests as
+/// [`conv2d_reference`], so the result is bit-identical on both the
+/// vector and scalar dispatch paths.
+fn conv2d_direct_rowwise(
+    input: &Tensor3,
+    weight: &Tensor4,
+    bias: Option<&[f32]>,
+    cfg: &Conv2dCfg,
+) -> Tensor3 {
+    debug_assert_eq!(cfg.stride, 1);
+    let out_h = conv_out_dim(input.h(), weight.r(), 1, cfg.padding);
+    let out_w = conv_out_dim(input.w(), weight.s(), 1, cfg.padding);
+    let (pad_y, pad_x) = match cfg.padding {
+        Padding::Same => (
+            same_pad(input.h(), weight.r(), 1),
+            same_pad(input.w(), weight.s(), 1),
+        ),
+        Padding::Valid => (0, 0),
+    };
+    let (in_h, in_w) = (input.h(), input.w());
+    let in_data = input.data();
+    let mut out = Tensor3::zeros(weight.k(), out_h, out_w);
+    let out_data = out.data_mut();
+    for k in 0..weight.k() {
+        let b = bias.map_or(0.0, |b| b[k]);
+        for p in 0..out_h {
+            let acc_row = &mut out_data[(k * out_h + p) * out_w..][..out_w];
+            acc_row.fill(b);
+            for c in 0..input.c() {
+                for r in 0..weight.r() {
+                    let iy = (p + r) as isize - pad_y as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let in_row = &in_data[(c * in_h + iy as usize) * in_w..][..in_w];
+                    for s in 0..weight.s() {
+                        let wv = weight.at(k, c, r, s);
+                        if wv == 0.0 {
+                            continue; // weight zero-skipping
+                        }
+                        // Valid output-x range: 0 <= q + s - pad_x < in_w.
+                        let q_lo = pad_x.saturating_sub(s);
+                        let q_hi = (in_w + pad_x).saturating_sub(s).min(out_w);
+                        if q_lo >= q_hi {
+                            continue;
+                        }
+                        let x_lo = q_lo + s - pad_x;
+                        crate::simd::axpy_nonzero(
+                            &mut acc_row[q_lo..q_hi],
+                            &in_row[x_lo..x_lo + (q_hi - q_lo)],
+                            wv,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// The reference dense loop nest, with no dispatch: always computes

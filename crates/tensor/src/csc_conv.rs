@@ -263,6 +263,7 @@ pub fn conv2d_csc(
     let in_plane = input.h() * in_w;
     let in_data = input.data();
     let out_data = out.data_mut();
+    let span_len = x_hi + 1 - x_lo;
     for c in 0..weights.c() {
         let tap_base_c = c * kr * ks;
         for (y, rps) in rp.iter().enumerate() {
@@ -270,6 +271,44 @@ pub fn conv2d_csc(
                 continue;
             }
             let row = &in_data[c * in_plane + y * in_w..c * in_plane + y * in_w + in_w];
+            // Dense rows at stride 1 take a vectorized path: one masked
+            // axpy per (tap, surviving weight) over the contiguous
+            // output-x run. Per output element the contribution order is
+            // (c asc, y asc == r asc, s asc) — exactly the scatter's
+            // order — so both paths are bit-identical and the cutover
+            // density is purely a speed heuristic. Sparse rows (the
+            // probe-image regime) keep the pixel scatter, which skips
+            // all taps of a zero pixel at the cost of one compare.
+            if cfg.stride == 1 && span_len >= 8 {
+                let nnz_in_span = crate::nnz(&row[x_lo..=x_hi]);
+                if nnz_in_span * 4 >= span_len {
+                    for &(r, p) in rps {
+                        let out_row = p * out_w;
+                        let tap_base = tap_base_c + r * ks;
+                        for s in 0..ks {
+                            // Output-x range reaching tap s from columns
+                            // in [x_lo, x_hi] (q = x + pad_x - s) inside
+                            // the recomputed span.
+                            let q_lo = out_span.lo().max((x_lo + pad_x).saturating_sub(s));
+                            let q_hi = out_span.hi().min((x_hi + pad_x + 1).saturating_sub(s));
+                            if q_lo >= q_hi {
+                                continue;
+                            }
+                            let x_first = q_lo + s - pad_x;
+                            let (ks_list, wv_list) = weights.taps(tap_base + s);
+                            for (&k, &wv) in ks_list.iter().zip(wv_list) {
+                                let dst = k as usize * plane + out_row;
+                                crate::simd::axpy_nonzero(
+                                    &mut out_data[dst + q_lo..dst + q_hi],
+                                    &row[x_first..x_first + (q_hi - q_lo)],
+                                    wv,
+                                );
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
             for x in x_lo..=x_hi {
                 let xv = row[x];
                 if xv == 0.0 {

@@ -24,14 +24,17 @@
 //! produce results bit-identical to the direct loop nest (which makes the
 //! simulator's DRAM traces and encode timings backend-invariant).
 
-/// Rows of one micro-tile (accumulator register rows).
-pub const MR: usize = 4;
-/// Columns of one micro-tile (accumulator register columns).
-pub const NR: usize = 8;
+pub use crate::simd::{MR, NR};
 
 /// Cache-blocking parameters. The defaults target a ~32 KiB L1 / ~512 KiB
 /// L2 budget: one packed B panel (`kc x nc` f32) stays L2-resident while
 /// `kc x MR` A strips stream through L1.
+///
+/// Construct custom blockings with [`GemmBlocking::new`], which rejects
+/// parameters the packing layout cannot honor (`mc < MR`, `kc == 0`,
+/// `nc < NR`). The fields stay public for struct-literal construction in
+/// const contexts; [`gemm`] re-validates and panics on an invalid literal
+/// rather than silently clamping it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GemmBlocking {
     /// Block height of A (rows of C computed per packed A block).
@@ -40,6 +43,64 @@ pub struct GemmBlocking {
     pub kc: usize,
     /// Slab width of B (columns of C per packed B panel).
     pub nc: usize,
+}
+
+/// Invalid [`GemmBlocking`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockingError {
+    /// `mc` is smaller than the micro-tile height [`MR`].
+    McBelowTile {
+        /// Rejected value.
+        got: usize,
+    },
+    /// `kc` is zero — no panel depth to accumulate over.
+    KcZero,
+    /// `nc` is smaller than the micro-tile width [`NR`].
+    NcBelowTile {
+        /// Rejected value.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BlockingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockingError::McBelowTile { got } => {
+                write!(f, "mc = {got} is below the micro-tile height {MR}")
+            }
+            BlockingError::KcZero => write!(f, "kc must be nonzero"),
+            BlockingError::NcBelowTile { got } => {
+                write!(f, "nc = {got} is below the micro-tile width {NR}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockingError {}
+
+impl GemmBlocking {
+    /// Validating constructor: the packing layout needs at least one full
+    /// micro-tile per block (`mc >= MR`, `nc >= NR`) and a nonzero panel
+    /// depth.
+    pub fn new(mc: usize, kc: usize, nc: usize) -> Result<Self, BlockingError> {
+        let blk = GemmBlocking { mc, kc, nc };
+        blk.validate()?;
+        Ok(blk)
+    }
+
+    /// Checks the invariants [`GemmBlocking::new`] enforces.
+    pub fn validate(&self) -> Result<(), BlockingError> {
+        if self.mc < MR {
+            return Err(BlockingError::McBelowTile { got: self.mc });
+        }
+        if self.kc == 0 {
+            return Err(BlockingError::KcZero);
+        }
+        if self.nc < NR {
+            return Err(BlockingError::NcBelowTile { got: self.nc });
+        }
+        Ok(())
+    }
 }
 
 impl Default for GemmBlocking {
@@ -63,8 +124,10 @@ impl Default for GemmBlocking {
 ///
 /// # Panics
 ///
-/// Panics if a slice is too short for its dimensions or a leading dimension
-/// is smaller than the logical row width.
+/// Panics if a slice is too short for its dimensions, a leading dimension
+/// is smaller than the logical row width, or `blk` fails
+/// [`GemmBlocking::validate`] (struct literals bypass the validating
+/// constructor; clamping them silently would hide the config bug).
 #[allow(clippy::too_many_arguments)] // standard BLAS sgemm-style signature
 pub fn gemm(
     m: usize,
@@ -91,7 +154,11 @@ pub fn gemm(
         return;
     }
     assert!(b.len() >= (k - 1) * ldb + n, "B slice too short");
-    let (mc, kc, nc) = (blk.mc.max(MR), blk.kc.max(1), blk.nc.max(NR));
+    assert!(
+        blk.validate().is_ok(),
+        "invalid GEMM blocking {blk:?}: mc >= {MR}, kc >= 1, nc >= {NR} required"
+    );
+    let (mc, kc, nc) = (blk.mc, blk.kc, blk.nc);
 
     // Packing buffers, reused across panels.
     let mut packed_a = vec![0.0f32; mc.div_ceil(MR) * MR * kc];
@@ -127,14 +194,23 @@ fn pack_a(dst: &mut [f32], a: &[f32], lda: usize, ic: usize, pc: usize, mcb: usi
     for ir in (0..mcb).step_by(MR) {
         let strip = &mut dst[(ir / MR) * MR * kcb..][..MR * kcb];
         let rows = MR.min(mcb - ir);
-        for j in 0..kcb {
-            let g = &mut strip[j * MR..j * MR + MR];
-            for (i, gi) in g.iter_mut().enumerate() {
-                *gi = if i < rows {
-                    a[(ic + ir + i) * lda + pc + j]
-                } else {
-                    0.0
-                };
+        // Hoisted row slices keep the transpose loop free of index
+        // arithmetic and bounds checks (rows past `mcb` pack as zeros).
+        let mut row: [&[f32]; MR] = [&[]; MR];
+        for (i, r) in row.iter_mut().enumerate().take(rows) {
+            *r = &a[(ic + ir + i) * lda + pc..][..kcb];
+        }
+        if rows == MR {
+            for (j, g) in strip.chunks_exact_mut(MR).enumerate() {
+                for (gi, r) in g.iter_mut().zip(&row) {
+                    *gi = r[j];
+                }
+            }
+        } else {
+            for (j, g) in strip.chunks_exact_mut(MR).enumerate() {
+                for (i, gi) in g.iter_mut().enumerate() {
+                    *gi = if i < rows { row[i][j] } else { 0.0 };
+                }
             }
         }
     }
@@ -159,6 +235,8 @@ fn pack_b(dst: &mut [f32], b: &[f32], ldb: usize, pc: usize, jc: usize, kcb: usi
 
 /// `MR x NR` register tile: loads the C tile, accumulates `kcb` rank-1
 /// updates in ascending `j`, stores back. `mrb`/`nrb` mask the edge tiles.
+/// Dispatches to the runtime-selected vector or scalar kernel; both are
+/// bit-identical by the [`crate::simd`] contract.
 #[inline]
 fn micro_kernel(
     kcb: usize,
@@ -169,23 +247,7 @@ fn micro_kernel(
     mrb: usize,
     nrb: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (i, row) in acc.iter_mut().enumerate().take(mrb) {
-        row[..nrb].copy_from_slice(&c[i * ldc..i * ldc + nrb]);
-    }
-    for j in 0..kcb {
-        let av = &a_strip[j * MR..j * MR + MR];
-        let bv = &b_strip[j * NR..j * NR + NR];
-        for (i, row) in acc.iter_mut().enumerate() {
-            let ai = av[i];
-            for (x, bj) in row.iter_mut().zip(bv) {
-                *x += ai * bj;
-            }
-        }
-    }
-    for (i, row) in acc.iter().enumerate().take(mrb) {
-        c[i * ldc..i * ldc + nrb].copy_from_slice(&row[..nrb]);
-    }
+    crate::simd::gemm_micro(kcb, a_strip, b_strip, c, ldc, mrb, nrb);
 }
 
 #[cfg(test)]
@@ -296,5 +358,37 @@ mod tests {
         let mut c = vec![1.0, 2.0];
         gemm(1, 2, 0, &[], 0, &[], 2, &mut c, 2, &GemmBlocking::default());
         assert_eq!(c, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn blocking_constructor_rejects_sub_tile_parameters() {
+        // Regression: these used to be silently clamped to (MR, 1, NR)
+        // inside gemm(), hiding the caller's config bug.
+        assert_eq!(
+            GemmBlocking::new(MR - 1, 16, 24),
+            Err(BlockingError::McBelowTile { got: MR - 1 })
+        );
+        assert_eq!(GemmBlocking::new(8, 0, 24), Err(BlockingError::KcZero));
+        assert_eq!(
+            GemmBlocking::new(8, 16, NR - 2),
+            Err(BlockingError::NcBelowTile { got: NR - 2 })
+        );
+        let ok = GemmBlocking::new(MR, 1, NR).expect("minimal blocking is valid");
+        assert_eq!((ok.mc, ok.kc, ok.nc), (MR, 1, NR));
+        assert!(GemmBlocking::default().validate().is_ok());
+        // Errors render through Display for ConfigError-style reporting.
+        assert!(BlockingError::KcZero.to_string().contains("kc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GEMM blocking")]
+    fn gemm_panics_on_invalid_blocking_literal() {
+        let blk = GemmBlocking {
+            mc: 1,
+            kc: 0,
+            nc: 1,
+        };
+        let mut c = vec![0.0f32; 4];
+        gemm(2, 2, 2, &[1.0; 4], 2, &[1.0; 4], 2, &mut c, 2, &blk);
     }
 }

@@ -36,13 +36,17 @@ pub mod huffman;
 pub mod im2col;
 pub mod norm;
 pub mod pool;
+pub mod qconv;
+pub mod qtensor;
 pub mod shape;
+pub mod simd;
 pub mod sparse;
 pub mod tensor;
 
 pub use colspan::ColSpan;
 pub use conv::{BackendPolicy, ConvBackend};
 pub use csc_conv::CscWeights;
+pub use qtensor::{QTensor3, QTensor4, QuantParams};
 pub use shape::Shape3;
 pub use sparse::{CompressionScheme, EncodedSize};
 pub use tensor::{Tensor3, Tensor4};

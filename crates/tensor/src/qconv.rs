@@ -1,0 +1,304 @@
+//! INT8 quantized 2-D convolution with i32 accumulators and a
+//! deterministic requantize step.
+//!
+//! The arithmetic follows the standard affine-quantization contract with
+//! symmetric (`zero_point == 0`) per-output-channel weights:
+//!
+//! ```text
+//! acc[k,p,q] = bias_q[k] + sum_{c,r,s} w_q[k,c,r,s] * (x_q[c,y,x] - zp_in)
+//! out_q[k,p,q] = clamp(zp_out + round(acc * m[k]), -128, 127)
+//! ```
+//!
+//! where `m[k] = s_in * s_w[k] / s_out` folds the three scales into one
+//! per-channel requantization multiplier. Every accumulation is exact
+//! integer arithmetic, so — unlike the f32 kernels — the vectorized and
+//! scalar paths (and any accumulation order) are trivially identical;
+//! only the final rounding touches floating point, and it is evaluated
+//! once per output element from the same i32 accumulator. Accumulators
+//! cannot overflow: `|w| <= 127`, `|x - zp| <= 255`, and the largest
+//! victim layer has `512 * 3 * 3` taps, bounding `|acc|` well under
+//! `2^31`.
+
+use crate::conv::{conv_out_dim, same_pad, Conv2dCfg, Padding};
+use crate::qtensor::{QTensor3, QTensor4, QuantParams};
+
+/// Requantization bundle for one quantized conv layer.
+#[derive(Clone, Debug)]
+pub struct QConvParams {
+    /// Symmetric per-output-channel quantized weights.
+    pub weight: QTensor4,
+    /// Bias in accumulator units: `round(bias[k] / (s_in * s_w[k]))`.
+    pub bias_q: Vec<i32>,
+    /// Per-channel requantization multiplier `s_in * s_w[k] / s_out`.
+    pub multipliers: Vec<f32>,
+    /// Output activation quantization.
+    pub out_qp: QuantParams,
+}
+
+/// Clamped round-to-nearest requantization of one i32 accumulator.
+#[inline]
+pub fn requantize(acc: i32, multiplier: f32, zp_out: i32) -> i8 {
+    let q = zp_out as f32 + (acc as f32 * multiplier).round();
+    q.clamp(-128.0, 127.0) as i8
+}
+
+/// Quantized convolution. Dispatches to a rowwise kernel vectorized over
+/// output-x lanes ([`crate::simd::qaxpy`]) at stride 1, falling back to
+/// the reference loop nest otherwise; both produce identical bytes.
+///
+/// # Panics
+///
+/// Panics if shapes or per-channel vector lengths disagree, or if
+/// `cfg.stride == 0`.
+pub fn qconv2d(input: &QTensor3, p: &QConvParams, cfg: &Conv2dCfg) -> QTensor3 {
+    check_args(input, p, cfg);
+    if cfg.stride == 1 {
+        qconv2d_rowwise(input, p, cfg)
+    } else {
+        qconv2d_reference(input, p, cfg)
+    }
+}
+
+fn check_args(input: &QTensor3, p: &QConvParams, cfg: &Conv2dCfg) {
+    assert!(cfg.stride > 0, "stride must be positive");
+    assert_eq!(
+        input.c(),
+        p.weight.c(),
+        "input channels {} do not match weight channels {}",
+        input.c(),
+        p.weight.c()
+    );
+    assert_eq!(p.bias_q.len(), p.weight.k(), "bias length must equal K");
+    assert_eq!(
+        p.multipliers.len(),
+        p.weight.k(),
+        "multiplier length must equal K"
+    );
+}
+
+fn geometry(input: &QTensor3, p: &QConvParams, cfg: &Conv2dCfg) -> (usize, usize, usize, usize) {
+    let (kr, ks) = (p.weight.r(), p.weight.s());
+    let out_h = conv_out_dim(input.h(), kr, cfg.stride, cfg.padding);
+    let out_w = conv_out_dim(input.w(), ks, cfg.stride, cfg.padding);
+    let (pad_y, pad_x) = match cfg.padding {
+        Padding::Same => (
+            same_pad(input.h(), kr, cfg.stride),
+            same_pad(input.w(), ks, cfg.stride),
+        ),
+        Padding::Valid => (0, 0),
+    };
+    (out_h, out_w, pad_y, pad_x)
+}
+
+/// Scalar i32 reference loop nest — the specification both the rowwise
+/// kernel and the differential proptests compare against.
+pub fn qconv2d_reference(input: &QTensor3, p: &QConvParams, cfg: &Conv2dCfg) -> QTensor3 {
+    check_args(input, p, cfg);
+    let (out_h, out_w, pad_y, pad_x) = geometry(input, p, cfg);
+    let w = &p.weight;
+    let zp_in = input.qp.zero_point;
+    let zp_out = p.out_qp.zero_point;
+    let mut out = vec![0i8; w.k() * out_h * out_w];
+    for k in 0..w.k() {
+        for pq in 0..out_h {
+            for q in 0..out_w {
+                let mut acc = p.bias_q[k];
+                for c in 0..input.c() {
+                    for r in 0..w.r() {
+                        let iy = (pq * cfg.stride + r) as isize - pad_y as isize;
+                        if iy < 0 || iy >= input.h() as isize {
+                            continue;
+                        }
+                        for s in 0..w.s() {
+                            let ix = (q * cfg.stride + s) as isize - pad_x as isize;
+                            if ix < 0 || ix >= input.w() as isize {
+                                continue;
+                            }
+                            let wv = w.at(k, c, r, s) as i32;
+                            if wv == 0 {
+                                continue; // pruned weight
+                            }
+                            let idx = (c * input.h() + iy as usize) * input.w() + ix as usize;
+                            let xv = input.data()[idx] as i32 - zp_in;
+                            acc += wv * xv;
+                        }
+                    }
+                }
+                out[(k * out_h + pq) * out_w + q] = requantize(acc, p.multipliers[k], zp_out);
+            }
+        }
+    }
+    QTensor3::from_raw(w.k(), out_h, out_w, out, p.out_qp)
+}
+
+/// Stride-1 kernel accumulating whole output rows: for each `(k, p)` the
+/// i32 accumulator row starts at `bias_q[k]` and every surviving weight
+/// tap contributes one [`crate::simd::qaxpy`] over the valid output-x
+/// range. Integer math makes this identical to the reference regardless
+/// of SIMD mode.
+fn qconv2d_rowwise(input: &QTensor3, p: &QConvParams, cfg: &Conv2dCfg) -> QTensor3 {
+    let (out_h, out_w, pad_y, pad_x) = geometry(input, p, cfg);
+    let w = &p.weight;
+    let zp_in = input.qp.zero_point;
+    let zp_out = p.out_qp.zero_point;
+    let (in_h, in_w) = (input.h(), input.w());
+    // Zero-point-centered input in accumulator units, one contiguous
+    // i32 row per (c, y).
+    let centered: Vec<i32> = input.data().iter().map(|&q| q as i32 - zp_in).collect();
+    let mut out = vec![0i8; w.k() * out_h * out_w];
+    let mut acc_row = vec![0i32; out_w];
+    for k in 0..w.k() {
+        for pq in 0..out_h {
+            acc_row.fill(p.bias_q[k]);
+            for c in 0..input.c() {
+                for r in 0..w.r() {
+                    let iy = (pq + r) as isize - pad_y as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let in_row = &centered[(c * in_h + iy as usize) * in_w..][..in_w];
+                    for s in 0..w.s() {
+                        let wv = w.at(k, c, r, s) as i32;
+                        if wv == 0 {
+                            continue; // pruned weight
+                        }
+                        // Valid output-x range: 0 <= q + s - pad_x < in_w.
+                        let q_lo = pad_x.saturating_sub(s);
+                        let q_hi = (in_w + pad_x).saturating_sub(s).min(out_w);
+                        if q_lo >= q_hi {
+                            continue;
+                        }
+                        let x_lo = q_lo + s - pad_x;
+                        crate::simd::qaxpy(
+                            &mut acc_row[q_lo..q_hi],
+                            &in_row[x_lo..x_lo + (q_hi - q_lo)],
+                            wv,
+                        );
+                    }
+                }
+            }
+            let out_row = &mut out[(k * out_h + pq) * out_w..][..out_w];
+            for (dst, &acc) in out_row.iter_mut().zip(&acc_row) {
+                *dst = requantize(acc, p.multipliers[k], zp_out);
+            }
+        }
+    }
+    QTensor3::from_raw(w.k(), out_h, out_w, out, p.out_qp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tensor3, Tensor4};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_qconv(seed: u64, k: usize, c: usize, kr: usize) -> (QConvParams, QuantParams) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Tensor4::zeros(k, c, kr, kr);
+        w.init_he(&mut rng);
+        for v in w.data_mut().iter_mut() {
+            if rng.gen_bool(0.5) {
+                *v = 0.0;
+            }
+        }
+        let weight = QTensor4::quantize(&w);
+        let in_qp = QuantParams::from_range(-1.0, 1.0);
+        let out_qp = QuantParams::from_range(-4.0, 4.0);
+        let bias_q: Vec<i32> = (0..k).map(|_| rng.gen_range(-500..500)).collect();
+        let multipliers: Vec<f32> = weight
+            .scales()
+            .iter()
+            .map(|&sw| in_qp.scale * sw / out_qp.scale)
+            .collect();
+        (
+            QConvParams {
+                weight,
+                bias_q,
+                multipliers,
+                out_qp,
+            },
+            in_qp,
+        )
+    }
+
+    #[test]
+    fn rowwise_matches_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(0xC017);
+        for case in 0..25u64 {
+            let (c, h, w) = (
+                rng.gen_range(1..4usize),
+                rng.gen_range(1..9usize),
+                rng.gen_range(1..9usize),
+            );
+            let k = rng.gen_range(1..5usize);
+            let kr = rng.gen_range(1..4usize);
+            let padding = if rng.gen_bool(0.5) {
+                Padding::Same
+            } else {
+                Padding::Valid
+            };
+            let (p, in_qp) = random_qconv(case, k, c, kr);
+            let mut x = Tensor3::zeros(c, h, w);
+            x.fill_uniform(&mut rng, -1.0, 1.0);
+            let qx = QTensor3::quantize(&x, in_qp);
+            let cfg = Conv2dCfg::new(1, padding);
+            let want = qconv2d_reference(&qx, &p, &cfg);
+            let got = qconv2d(&qx, &p, &cfg);
+            assert_eq!(want.shape(), got.shape(), "case {case}");
+            assert_eq!(want.data(), got.data(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn stride_two_takes_reference_path() {
+        let (p, in_qp) = random_qconv(3, 3, 2, 3);
+        let mut x = Tensor3::zeros(2, 6, 6);
+        x.fill_uniform(&mut StdRng::seed_from_u64(4), -1.0, 1.0);
+        let qx = QTensor3::quantize(&x, in_qp);
+        let cfg = Conv2dCfg::new(2, Padding::Same);
+        let out = qconv2d(&qx, &p, &cfg);
+        assert_eq!((out.c(), out.h(), out.w()), (3, 3, 3));
+    }
+
+    #[test]
+    fn quantized_conv_approximates_f32_conv() {
+        // End-to-end sanity: dequantized INT8 output tracks the f32 conv
+        // within a few quantization steps.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut w = Tensor4::zeros(4, 3, 3, 3);
+        w.init_he(&mut rng);
+        let mut x = Tensor3::zeros(3, 8, 8);
+        x.fill_uniform(&mut rng, -1.0, 1.0);
+        let cfg = Conv2dCfg::new(1, Padding::Same);
+        let f32_out = crate::conv::conv2d_reference(&x, &w, None, &cfg);
+        let lo = f32_out.data().iter().cloned().fold(f32::MAX, f32::min);
+        let hi = f32_out.data().iter().cloned().fold(f32::MIN, f32::max);
+
+        let weight = QTensor4::quantize(&w);
+        let in_qp = QuantParams::from_range(-1.0, 1.0);
+        let out_qp = QuantParams::from_range(lo, hi);
+        let multipliers: Vec<f32> = weight
+            .scales()
+            .iter()
+            .map(|&sw| in_qp.scale * sw / out_qp.scale)
+            .collect();
+        let p = QConvParams {
+            weight,
+            bias_q: vec![0; 4],
+            multipliers,
+            out_qp,
+        };
+        let qx = QTensor3::quantize(&x, in_qp);
+        let qout = qconv2d(&qx, &p, &cfg).dequantize();
+        let mut worst = 0.0f32;
+        for (a, b) in qout.data().iter().zip(f32_out.data()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(
+            worst < out_qp.scale * 4.0 + 0.05,
+            "worst INT8-vs-f32 error {worst} (step {})",
+            out_qp.scale
+        );
+    }
+}

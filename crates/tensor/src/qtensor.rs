@@ -1,0 +1,311 @@
+//! INT8 quantized tensor types for the post-training-quantized forward
+//! path.
+//!
+//! Activations use affine per-tensor quantization whose zero point is
+//! always exactly representable (`quantize(0.0) == zero_point`, and
+//! `dequantize(zero_point) == 0.0` bit-exactly), so the accelerator's
+//! zero-skipping datapath and nnz accounting see the same zeros in INT8
+//! as in f32. Weights use symmetric per-output-channel quantization
+//! (`zero_point == 0`), which keeps a pruned weight's quantized value at
+//! exactly 0 and lets the i32 accumulator math skip the cross-term
+//! corrections of the general affine product.
+
+use crate::Shape3;
+use crate::{Tensor3, Tensor4};
+
+/// Affine i8 quantization parameters: `real = (q - zero_point) * scale`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantParams {
+    /// Step size between adjacent quantized values.
+    pub scale: f32,
+    /// Quantized value representing real 0.0; always in `[-128, 127]`.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Parameters covering the calibrated real range `[lo, hi]` with the
+    /// full i8 range. The range is first widened to include 0.0 so the
+    /// zero point is exact; a degenerate (empty) range quantizes
+    /// everything to the zero point with unit scale.
+    pub fn from_range(lo: f32, hi: f32) -> QuantParams {
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let span = hi - lo;
+        if !span.is_finite() || span <= f32::EPSILON {
+            return QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            };
+        }
+        let scale = span / 255.0;
+        let zero_point = (-128.0 - lo / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters for a weight range `[-maxabs, maxabs]`
+    /// (`zero_point == 0`).
+    pub fn symmetric(maxabs: f32) -> QuantParams {
+        let scale = if maxabs > 0.0 { maxabs / 127.0 } else { 1.0 };
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
+    }
+
+    /// Quantizes a real value (round-to-nearest, saturating).
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i8 {
+        let q = self.zero_point as f32 + (v / self.scale).round();
+        q.clamp(-128.0, 127.0) as i8
+    }
+
+    /// Dequantizes back to f32. `dequantize(zero_point) == 0.0` exactly.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// An i8 activation map in `C x H x W` layout with per-tensor
+/// [`QuantParams`].
+#[derive(Clone, Debug)]
+pub struct QTensor3 {
+    shape: Shape3,
+    data: Vec<i8>,
+    /// Quantization parameters shared by every element.
+    pub qp: QuantParams,
+}
+
+impl QTensor3 {
+    /// Quantizes a real-valued map under `qp`.
+    pub fn quantize(t: &Tensor3, qp: QuantParams) -> QTensor3 {
+        QTensor3 {
+            shape: t.shape(),
+            data: t.data().iter().map(|&v| qp.quantize(v)).collect(),
+            qp,
+        }
+    }
+
+    /// Builds a map directly from quantized values.
+    pub fn from_raw(c: usize, h: usize, w: usize, data: Vec<i8>, qp: QuantParams) -> QTensor3 {
+        let shape = Shape3::new(c, h, w);
+        assert_eq!(data.len(), shape.len(), "data length must match shape");
+        QTensor3 { shape, data, qp }
+    }
+
+    /// Shape descriptor.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Channels.
+    pub fn c(&self) -> usize {
+        self.shape.c
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.shape.h
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.shape.w
+    }
+
+    /// Raw quantized values.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Elements different from the zero point (the INT8 notion of nnz —
+    /// exactly the elements that dequantize to a nonzero real).
+    pub fn nnz(&self) -> usize {
+        let zp = self.zero_point_i8();
+        self.data.iter().filter(|&&q| q != zp).count()
+    }
+
+    /// The zero point narrowed to i8 (always in range by construction).
+    pub fn zero_point_i8(&self) -> i8 {
+        self.qp.zero_point.clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes to an f32 map. Zero-point elements become exact 0.0.
+    pub fn dequantize(&self) -> Tensor3 {
+        let mut out = Tensor3::zeros(self.c(), self.h(), self.w());
+        for (dst, &q) in out.data_mut().iter_mut().zip(&self.data) {
+            *dst = self.qp.dequantize(q);
+        }
+        out
+    }
+}
+
+/// An i8 weight tensor in `K x C x R x S` layout with symmetric
+/// per-output-channel scales (`zero_point == 0` for every channel).
+#[derive(Clone, Debug)]
+pub struct QTensor4 {
+    k: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    data: Vec<i8>,
+    /// Per-output-channel scale (`real = q * scales[k]`).
+    scales: Vec<f32>,
+}
+
+impl QTensor4 {
+    /// Per-output-channel symmetric quantization of a real weight tensor.
+    /// Pruned (exactly-zero) weights quantize to exactly 0.
+    pub fn quantize(w: &Tensor4) -> QTensor4 {
+        let (k, c, r, s) = (w.k(), w.c(), w.r(), w.s());
+        let per = c * r * s;
+        let mut scales = Vec::with_capacity(k);
+        let mut data = Vec::with_capacity(k * per);
+        for ko in 0..k {
+            let plane = &w.data()[ko * per..(ko + 1) * per];
+            let maxabs = plane.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let qp = QuantParams::symmetric(maxabs);
+            scales.push(qp.scale);
+            data.extend(plane.iter().map(|&v| qp.quantize(v)));
+        }
+        QTensor4 {
+            k,
+            c,
+            r,
+            s,
+            data,
+            scales,
+        }
+    }
+
+    /// Output channels.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Input channels.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Kernel rows.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Kernel columns.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw quantized values.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-output-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Quantized value at `(k, c, r, s)`.
+    #[inline]
+    pub fn at(&self, k: usize, c: usize, r: usize, s: usize) -> i8 {
+        self.data[((k * self.c + c) * self.r + r) * self.s + s]
+    }
+
+    /// Nonzero quantized weights (pruned weights stay exactly 0).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&q| q != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn zero_point_is_exact_both_ways() {
+        for (lo, hi) in [(-1.0f32, 1.0f32), (0.0, 6.0), (-3.0, 0.5), (0.0, 0.0)] {
+            let qp = QuantParams::from_range(lo, hi);
+            assert_eq!(qp.quantize(0.0) as i32, qp.zero_point, "({lo},{hi})");
+            let zp = qp.zero_point.clamp(-128, 127) as i8;
+            assert_eq!(qp.dequantize(zp).to_bits(), 0.0f32.to_bits());
+            assert!((-128..=127).contains(&qp.zero_point));
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded_by_half_step() {
+        let qp = QuantParams::from_range(-2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let v = rng.gen_range(-2.0..2.0);
+            let err = (qp.dequantize(qp.quantize(v)) - v).abs();
+            assert!(err <= qp.scale * 0.5 + 1e-6, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_i8_range() {
+        let qp = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(qp.quantize(100.0), 127);
+        assert_eq!(qp.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn weight_quantization_is_symmetric_and_preserves_pruning() {
+        let mut w = Tensor4::zeros(3, 2, 3, 3);
+        w.init_he(&mut StdRng::seed_from_u64(8));
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let q = QTensor4::quantize(&w);
+        assert_eq!(q.scales().len(), 3);
+        // Every pruned f32 weight is exactly 0 in INT8, and vice versa
+        // (symmetric zp=0 quantization cannot move zeros off zero; small
+        // nonzero weights may round to 0, which only increases sparsity).
+        for (qv, &fv) in q.data().iter().zip(w.data()) {
+            if fv == 0.0 {
+                assert_eq!(*qv, 0);
+            }
+        }
+        assert!(q.nnz() <= w.nnz());
+        // Largest-magnitude weight per channel hits ±127.
+        for k in 0..3 {
+            let per = 2 * 3 * 3;
+            let maxq = q.data()[k * per..(k + 1) * per]
+                .iter()
+                .map(|&v| (v as i32).abs())
+                .max()
+                .expect("non-empty plane");
+            assert_eq!(maxq, 127, "channel {k}");
+        }
+    }
+
+    #[test]
+    fn qtensor3_nnz_matches_dequantized_nnz() {
+        let mut t = Tensor3::zeros(2, 4, 4);
+        t.fill_uniform(&mut StdRng::seed_from_u64(3), -1.0, 1.0);
+        for v in t.data_mut().iter_mut().take(10) {
+            *v = 0.0;
+        }
+        let qp = QuantParams::from_range(-1.0, 1.0);
+        let q = QTensor3::quantize(&t, qp);
+        assert_eq!(q.nnz(), q.dequantize().nnz());
+    }
+}

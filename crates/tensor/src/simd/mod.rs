@@ -1,0 +1,357 @@
+//! Runtime-dispatched SIMD kernels for the convolution hot loops.
+//!
+//! The three f32 conv backends (blocked GEMM, CSC scatter, direct loop
+//! nest) and the INT8 quantized path all bottom out in a handful of small
+//! kernels defined here. Each kernel has two implementations with
+//! *identical per-lane semantics*:
+//!
+//! * a portable scalar fallback ([`scalar`]) written over the explicit
+//!   lane types [`scalar::f32x8`] / [`scalar::i32x8`], and
+//! * a hand-vectorized `std::arch` version (AVX2 on x86_64 in [`x86`],
+//!   NEON on aarch64 in [`neon`]) selected at runtime.
+//!
+//! # Bit-identity contract
+//!
+//! The vector kernels vectorize **across output elements only** (the NR
+//! register columns of a GEMM tile, or a contiguous run of output-x
+//! positions) and use separate multiply + add — never FMA. Each output
+//! element therefore receives exactly the same f32 additions in exactly
+//! the same order on both paths, and the golden traces recorded before
+//! this module existed still pass byte-identically. Zero-skipping is
+//! reproduced lanewise with a compare + blend: a lane whose activation is
+//! zero keeps its accumulator bits (an unconditional `acc + w*0.0` could
+//! flip a `-0.0` accumulator to `+0.0`).
+//!
+//! # Dispatch
+//!
+//! The active mode is decided once, at first use, from the host ISA
+//! (`is_x86_feature_detected!("avx2")`; NEON is baseline on aarch64) and
+//! the `HD_SIMD` environment variable (`HD_SIMD=0` forces the scalar
+//! fallback so CI can exercise it on any host). Tests and benches can
+//! flip the mode in-process with [`set_enabled`] — safe precisely
+//! because both paths are bit-identical.
+//!
+//! This module is the only place in the workspace where `unsafe` is
+//! sanctioned (enforced by the `no-unsafe` hd-lint rule); every unsafe
+//! block carries a `SAFETY:` comment discharging its obligations.
+
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+/// Rows of one GEMM micro-tile (shared with [`crate::gemm`]).
+pub const MR: usize = 4;
+/// Columns of one GEMM micro-tile: two 8-lane strips per row, so each
+/// broadcast of an A value is amortized over twice the output columns.
+/// (Widening the tile never changes results — per output element the
+/// `j` accumulation order is untouched.)
+pub const NR: usize = 16;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const MODE_UNINIT: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+const MODE_VECTOR: u8 = 2;
+
+/// Cached dispatch decision (one relaxed load on the hot path).
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// Whether the host ISA has the vector extensions the kernels target
+/// (AVX2 on x86_64, NEON on aarch64). Independent of [`enabled`]: bench
+/// artifacts use this to annotate scalar-only hosts honestly.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        std::arch::is_aarch64_feature_detected!("neon")
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+fn detect() -> u8 {
+    let forced_off = std::env::var("HD_SIMD").is_ok_and(|v| v == "0");
+    if !forced_off && simd_available() {
+        MODE_VECTOR
+    } else {
+        MODE_SCALAR
+    }
+}
+
+#[inline]
+fn mode() -> u8 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != MODE_UNINIT {
+        return m;
+    }
+    let m = detect();
+    MODE.store(m, Ordering::Relaxed);
+    m
+}
+
+/// Whether the vector kernels are currently active.
+pub fn enabled() -> bool {
+    mode() == MODE_VECTOR
+}
+
+/// Forces the dispatch mode in-process (differential tests, the
+/// SIMD-off bench rows). Enabling on a host without the required ISA is
+/// a no-op. Safe to flip at any time: both paths are bit-identical, so
+/// concurrent readers cannot observe a numeric difference.
+pub fn set_enabled(enabled: bool) {
+    let m = if enabled && simd_available() {
+        MODE_VECTOR
+    } else {
+        MODE_SCALAR
+    };
+    MODE.store(m, Ordering::Relaxed);
+}
+
+/// Name of the instruction set the active kernels use.
+pub fn active_isa() -> &'static str {
+    if !enabled() {
+        return "scalar";
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        "avx2"
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "scalar"
+    }
+}
+
+/// `MR x NR` GEMM register tile: loads the C tile, accumulates `kcb`
+/// rank-1 updates in ascending `j` with separate mul + add, stores back.
+/// `a_strip`/`b_strip` are the packed strips of [`crate::gemm`];
+/// `mrb`/`nrb` mask the edge tiles. Edge tiles (`nrb < NR`) always take
+/// the scalar path — the vector kernel loads full NR-lane rows of C.
+#[inline]
+pub fn gemm_micro(
+    kcb: usize,
+    a_strip: &[f32],
+    b_strip: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mrb: usize,
+    nrb: usize,
+) {
+    assert!(
+        (1..=MR).contains(&mrb) && (1..=NR).contains(&nrb),
+        "tile mask out of range"
+    );
+    assert!(
+        a_strip.len() >= kcb * MR && b_strip.len() >= kcb * NR,
+        "packed strip too short"
+    );
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if nrb == NR && mode() == MODE_VECTOR {
+        assert!(
+            c.len() >= (mrb - 1) * ldc + NR,
+            "C tile rows must hold NR lanes"
+        );
+        // SAFETY: the required ISA was verified by `detect()` (or
+        // `set_enabled`) before MODE_VECTOR could be observed, and the
+        // asserts above establish the slice bounds the kernel reads and
+        // writes through raw pointers.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            x86::gemm_micro_avx2(kcb, a_strip, b_strip, c, ldc, mrb)
+        };
+        // SAFETY: as above — NEON presence verified, bounds asserted.
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            neon::gemm_micro_neon(kcb, a_strip, b_strip, c, ldc, mrb)
+        };
+        return;
+    }
+    scalar::gemm_micro(kcb, a_strip, b_strip, c, ldc, mrb, nrb);
+}
+
+/// Masked accumulate over a contiguous run of output elements:
+/// `acc[i] += w * x[i]` for every lane where `x[i] != 0.0`, preserving
+/// the accumulator bits elsewhere — the vectorized form of the kernels'
+/// activation zero-skipping. `acc` and `x` must have equal length.
+#[inline]
+pub fn axpy_nonzero(acc: &mut [f32], x: &[f32], w: f32) {
+    assert_eq!(acc.len(), x.len(), "axpy operand length mismatch");
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if mode() == MODE_VECTOR {
+        // SAFETY: ISA presence verified before MODE_VECTOR was stored;
+        // equal slice lengths asserted above bound every pointer access.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            x86::axpy_nonzero_avx2(acc, x, w)
+        };
+        // SAFETY: as above.
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            neon::axpy_nonzero_neon(acc, x, w)
+        };
+        return;
+    }
+    scalar::axpy_nonzero(acc, x, w);
+}
+
+/// Unmasked i32 accumulate over a contiguous run: `acc[i] += w * x[i]`.
+/// Integer arithmetic is exact, so the quantized kernels need no
+/// zero-mask to stay bit-identical across paths. `acc` and `x` must have
+/// equal length; products and sums must not overflow `i32` (the
+/// quantized conv bounds its accumulators well below `i32::MAX`).
+#[inline]
+pub fn qaxpy(acc: &mut [i32], x: &[i32], w: i32) {
+    assert_eq!(acc.len(), x.len(), "qaxpy operand length mismatch");
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    if mode() == MODE_VECTOR {
+        // SAFETY: ISA presence verified before MODE_VECTOR was stored;
+        // equal slice lengths asserted above bound every pointer access.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            x86::qaxpy_avx2(acc, x, w)
+        };
+        // SAFETY: as above.
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            neon::qaxpy_neon(acc, x, w)
+        };
+        return;
+    }
+    scalar::qaxpy(acc, x, w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0..2.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `f` once with the vector kernels and once with the scalar
+    /// fallback, restoring the detected mode afterwards.
+    fn both_paths(mut f: impl FnMut(bool)) {
+        for vector in [false, true] {
+            set_enabled(vector);
+            f(vector && simd_available());
+        }
+        MODE.store(MODE_UNINIT, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn gemm_micro_paths_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kcb in [0usize, 1, 3, 17] {
+            for (mrb, nrb) in [(4, 8), (4, 5), (2, 8), (1, 1)] {
+                let a: Vec<f32> = random(kcb * MR, 10 + kcb as u64);
+                let b: Vec<f32> = random(kcb * NR, 20 + kcb as u64);
+                let ldc = rng.gen_range(NR..2 * NR);
+                let c0: Vec<f32> = random(MR * ldc, 30 + kcb as u64);
+                let mut outs: Vec<Vec<f32>> = Vec::new();
+                both_paths(|_| {
+                    let mut c = c0.clone();
+                    gemm_micro(kcb, &a, &b, &mut c, ldc, mrb, nrb);
+                    outs.push(c);
+                });
+                let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&outs[0]),
+                    bits(&outs[1]),
+                    "kcb={kcb} mrb={mrb} nrb={nrb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_paths_bit_identical_and_preserve_zero_lanes() {
+        for n in [0usize, 1, 7, 8, 9, 31, 64] {
+            let x = random(n, n as u64);
+            let acc0: Vec<f32> = random(n, 100 + n as u64);
+            let mut outs: Vec<Vec<f32>> = Vec::new();
+            both_paths(|_| {
+                let mut acc = acc0.clone();
+                axpy_nonzero(&mut acc, &x, 0.75);
+                outs.push(acc);
+            });
+            let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&outs[0]), bits(&outs[1]), "n={n}");
+            // Lanes with a zero activation keep their exact bits.
+            for i in 0..n {
+                if x[i] == 0.0 {
+                    assert_eq!(outs[1][i].to_bits(), acc0[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_preserves_negative_zero_accumulator() {
+        let mut acc = vec![-0.0f32; 8];
+        let x = vec![0.0f32; 8];
+        both_paths(|_| {
+            axpy_nonzero(&mut acc, &x, 1.0);
+            for a in &acc {
+                assert_eq!(a.to_bits(), (-0.0f32).to_bits(), "-0.0 flipped");
+            }
+        });
+    }
+
+    #[test]
+    fn qaxpy_paths_identical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [0usize, 1, 8, 13, 40] {
+            let x: Vec<i32> = (0..n).map(|_| rng.gen_range(-255..=255)).collect();
+            let acc0: Vec<i32> = (0..n).map(|_| rng.gen_range(-10_000..10_000)).collect();
+            let mut outs: Vec<Vec<i32>> = Vec::new();
+            both_paths(|_| {
+                let mut acc = acc0.clone();
+                qaxpy(&mut acc, &x, -113);
+                outs.push(acc);
+            });
+            assert_eq!(outs[0], outs[1], "n={n}");
+            for i in 0..n {
+                assert_eq!(outs[0][i], acc0[i] + (-113) * x[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn hd_simd_env_forces_scalar() {
+        // `detect()` is pure given the env; exercise it directly rather
+        // than mutating the process environment (other tests race on it).
+        assert_eq!(
+            detect() == MODE_VECTOR,
+            simd_available() && !std::env::var("HD_SIMD").is_ok_and(|v| v == "0")
+        );
+        set_enabled(false);
+        assert!(!enabled());
+        assert_eq!(active_isa(), "scalar");
+        set_enabled(true);
+        assert_eq!(enabled(), simd_available());
+        MODE.store(MODE_UNINIT, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,118 @@
+//! AVX2 implementations of the [`super`] kernels.
+//!
+//! Every function is an `unsafe fn` gated on `target_feature(avx2)`;
+//! the dispatcher in `super` verifies AVX2 with
+//! `is_x86_feature_detected!` and asserts the slice bounds before
+//! calling in. Per-lane semantics match [`super::scalar`] exactly:
+//! separate `mul` + `add` (no FMA), and zero-skipping as a compare +
+//! blend so untouched accumulator lanes keep their bits.
+
+use super::{MR, NR};
+use core::arch::x86_64::*;
+
+/// `MR x NR` register tile over full-width (`nrb == NR`) C rows.
+///
+/// # Safety
+///
+/// Requires AVX2. `a_strip` must hold `kcb * MR` values, `b_strip`
+/// `kcb * NR`, and `c` must hold `NR` values at each of the `mrb`
+/// (`1..=MR`) row offsets `i * ldc`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_micro_avx2(
+    kcb: usize,
+    a_strip: &[f32],
+    b_strip: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mrb: usize,
+) {
+    // SAFETY: caller guarantees the bounds spelled out above; every
+    // pointer below stays inside those ranges.
+    unsafe {
+        // NR = 16: two 8-lane strips per C row, so one A broadcast feeds
+        // two multiplies (8 accumulator registers + 2 B + 1 broadcast).
+        let mut lo = [_mm256_setzero_ps(); MR];
+        let mut hi = [_mm256_setzero_ps(); MR];
+        for i in 0..mrb {
+            lo[i] = _mm256_loadu_ps(c.as_ptr().add(i * ldc));
+            hi[i] = _mm256_loadu_ps(c.as_ptr().add(i * ldc + 8));
+        }
+        for j in 0..kcb {
+            let b_lo = _mm256_loadu_ps(b_strip.as_ptr().add(j * NR));
+            let b_hi = _mm256_loadu_ps(b_strip.as_ptr().add(j * NR + 8));
+            for i in 0..mrb {
+                let av = _mm256_set1_ps(*a_strip.get_unchecked(j * MR + i));
+                // Separate mul + add: bit-identical to the scalar tile.
+                lo[i] = _mm256_add_ps(lo[i], _mm256_mul_ps(av, b_lo));
+                hi[i] = _mm256_add_ps(hi[i], _mm256_mul_ps(av, b_hi));
+            }
+        }
+        for i in 0..mrb {
+            _mm256_storeu_ps(c.as_mut_ptr().add(i * ldc), lo[i]);
+            _mm256_storeu_ps(c.as_mut_ptr().add(i * ldc + 8), hi[i]);
+        }
+    }
+}
+
+/// Masked accumulate: `acc[i] += w * x[i]` where `x[i] != 0.0`.
+///
+/// # Safety
+///
+/// Requires AVX2. `acc` and `x` must have equal length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn axpy_nonzero_avx2(acc: &mut [f32], x: &[f32], w: f32) {
+    // SAFETY: caller guarantees equal lengths; `i + 8 <= n` bounds every
+    // vector access and the remainder loop uses checked indices below n.
+    unsafe {
+        let n = acc.len();
+        let wv = _mm256_set1_ps(w);
+        let zero = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let av = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let sum = _mm256_add_ps(av, _mm256_mul_ps(wv, xv));
+            // NEQ_UQ is true for NaN lanes, matching scalar `x != 0.0`.
+            let mask = _mm256_cmp_ps::<_CMP_NEQ_UQ>(xv, zero);
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_blendv_ps(av, sum, mask));
+            i += 8;
+        }
+        while i < n {
+            let xi = *x.get_unchecked(i);
+            if xi != 0.0 {
+                *acc.get_unchecked_mut(i) += w * xi;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Unmasked i32 accumulate: `acc[i] += w * x[i]` (no overflow by caller
+/// contract; wrapping on both paths keeps them identical regardless).
+///
+/// # Safety
+///
+/// Requires AVX2. `acc` and `x` must have equal length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn qaxpy_avx2(acc: &mut [i32], x: &[i32], w: i32) {
+    // SAFETY: caller guarantees equal lengths; `i + 8 <= n` bounds every
+    // vector access and the remainder loop uses checked indices below n.
+    unsafe {
+        let n = acc.len();
+        let wv = _mm256_set1_epi32(w);
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i);
+            let av = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+            let sum = _mm256_add_epi32(av, _mm256_mullo_epi32(wv, xv));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i) as *mut __m256i, sum);
+            i += 8;
+        }
+        while i < n {
+            let xi = *x.get_unchecked(i);
+            let ai = *acc.get_unchecked(i);
+            *acc.get_unchecked_mut(i) = ai.wrapping_add(w.wrapping_mul(xi));
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Differential tests between the vector (`AVX2`/`NEON`) and scalar SIMD
+//! paths, and between the INT8 convolution and its reference loop.
+//!
+//! The SIMD contract is *bit-identity*: per output element, both dispatch
+//! modes perform the same f32 additions in the same order (no FMA, lane
+//! width only changes how many independent elements advance together).
+//! These tests force each mode with [`simd::set_enabled`] and compare
+//! outputs bit-for-bit — on hosts without AVX2/NEON both runs take the
+//! scalar path and the tests degrade to self-consistency checks.
+
+use hd_tensor::conv::{conv2d, Conv2dCfg, ConvBackend, Padding};
+use hd_tensor::gemm::{gemm, GemmBlocking};
+use hd_tensor::qconv::{qconv2d, qconv2d_reference, QConvParams};
+use hd_tensor::simd;
+use hd_tensor::{QTensor3, QTensor4, QuantParams, Tensor3, Tensor4};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// [`simd::set_enabled`] flips a process-wide mode; tests in this binary
+/// run concurrently, so every mode-flipping section serializes here.
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once on the vector path and once on the scalar path,
+/// restoring vector dispatch afterwards.
+fn both_paths<T>(f: impl Fn() -> T) -> (T, T) {
+    let _guard = SIMD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::set_enabled(true);
+    let vector = f();
+    simd::set_enabled(false);
+    let scalar = f();
+    simd::set_enabled(true);
+    (vector, scalar)
+}
+
+fn random_tensor3(seed: u64, c: usize, h: usize, w: usize) -> Tensor3 {
+    let mut t = Tensor3::zeros(c, h, w);
+    t.fill_uniform(&mut StdRng::seed_from_u64(seed), -1.0, 1.0);
+    t
+}
+
+fn pruned_weights(seed: u64, k: usize, c: usize, kernel: usize, keep_percent: u32) -> Tensor4 {
+    let mut w = Tensor4::zeros(k, c, kernel, kernel);
+    let mut rng = StdRng::seed_from_u64(seed);
+    w.init_he(&mut rng);
+    for v in w.data_mut().iter_mut() {
+        if rng.gen_range(0u32..100) >= keep_percent {
+            *v = 0.0;
+        }
+    }
+    w
+}
+
+/// INT8 workload: affine input quantization (exact zero point), symmetric
+/// per-output-channel weights, output range calibrated from the f32 conv.
+fn quantized_workload(x: &Tensor3, w: &Tensor4, cfg: &Conv2dCfg) -> (QTensor3, QConvParams) {
+    let (lo, hi) = x
+        .data()
+        .iter()
+        .fold((0.0f32, 0.0f32), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let in_qp = QuantParams::from_range(lo, hi);
+    let qx = QTensor3::quantize(x, in_qp);
+    let qw = QTensor4::quantize(w);
+    let f32_out = conv2d(x, w, None, cfg);
+    let (olo, ohi) = f32_out
+        .data()
+        .iter()
+        .fold((0.0f32, 0.0f32), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let out_qp = QuantParams::from_range(olo, ohi);
+    let multipliers = qw
+        .scales()
+        .iter()
+        .map(|sw| in_qp.scale * sw / out_qp.scale)
+        .collect();
+    let params = QConvParams {
+        weight: qw,
+        bias_q: vec![0; w.k()],
+        multipliers,
+        out_qp,
+    };
+    (qx, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The GEMM kernel produces the same bytes on both dispatch modes for
+    /// random dimensions, including edge tiles (`m % MR`, `n % NR`) and
+    /// non-default cache blockings.
+    #[test]
+    fn gemm_simd_matches_scalar_bitwise(
+        seed in 0u64..10_000,
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..30,
+        custom_blocking in 0u32..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // A tiny blocking forces many partial panels; the default mostly
+        // runs one block. Both must agree with each other bit-for-bit.
+        let blk = if custom_blocking == 1 {
+            GemmBlocking::new(simd::MR, 8, simd::NR).expect("valid blocking")
+        } else {
+            GemmBlocking::default()
+        };
+        let (vector, scalar) = both_paths(|| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, k, &b, n, &mut c, n, &blk);
+            c
+        });
+        for (x, y) in vector.iter().zip(&scalar) {
+            prop_assert!(x.to_bits() == y.to_bits(), "{x} vs {y} diverge");
+        }
+    }
+
+    /// Leading dimensions larger than the row length (strided views) pack
+    /// through `pack_a`'s edge paths; both modes must still agree exactly.
+    #[test]
+    fn gemm_strided_views_match_bitwise(
+        seed in 0u64..10_000,
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..16,
+        lda_pad in 0usize..5,
+        ldb_pad in 0usize..5,
+        ldc_pad in 0usize..5,
+    ) {
+        let (lda, ldb, ldc) = (k + lda_pad, n + ldb_pad, n + ldc_pad);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * lda).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..k * ldb).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let (vector, scalar) = both_paths(|| {
+            let mut c = vec![0.0f32; m * ldc];
+            gemm(m, n, k, &a, lda, &b, ldb, &mut c, ldc, &GemmBlocking::default());
+            c
+        });
+        for (x, y) in vector.iter().zip(&scalar) {
+            prop_assert!(x.to_bits() == y.to_bits(), "{x} vs {y} diverge");
+        }
+    }
+
+    /// Every convolution backend is bit-identical across dispatch modes on
+    /// random shapes, strides, and pruned weights. This covers the GEMM
+    /// micro-kernel (Im2colGemm), the CSC scatter (`axpy_nonzero`), and
+    /// the Direct inner loop in one sweep.
+    #[test]
+    fn conv_backends_bit_identical_across_simd_modes(
+        seed in 0u64..10_000,
+        in_c in 1usize..4,
+        out_c in 1usize..6,
+        hw in 4usize..10,
+        kernel in prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+        stride in 1usize..3,
+        keep_percent in 10u32..80,
+        backend in prop_oneof![
+            Just(ConvBackend::Direct),
+            Just(ConvBackend::Im2colGemm),
+            Just(ConvBackend::SparseCsc),
+        ],
+    ) {
+        let x = random_tensor3(seed, in_c, hw, hw);
+        let w = pruned_weights(seed ^ 0x51D, out_c, in_c, kernel, keep_percent);
+        let cfg = Conv2dCfg::new(stride, Padding::Same).with_backend(backend);
+        let (vector, scalar) = both_paths(|| conv2d(&x, &w, None, &cfg));
+        prop_assert_eq!(vector.shape(), scalar.shape());
+        for (a, b) in vector.data().iter().zip(scalar.data()) {
+            prop_assert!(a.to_bits() == b.to_bits(), "{a} vs {b} diverge ({backend:?})");
+        }
+    }
+
+    /// Stripe inputs (the prober's probe shape) route onto the sparse
+    /// scatter path; its masked lane blend must not flip a single bit.
+    #[test]
+    fn sparse_scatter_bit_identical_across_simd_modes(
+        seed in 0u64..10_000,
+        col in 0usize..9,
+        kernel in prop_oneof![Just(3usize), Just(5usize)],
+        keep_percent in 5u32..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor3::zeros(3, 9, 9);
+        for c in 0..3 {
+            for y in 0..9 {
+                x.set(c, y, col, rng.gen_range(-1.0f32..1.0));
+            }
+        }
+        let w = pruned_weights(seed ^ 0xCA7, 6, 3, kernel, keep_percent);
+        let cfg = Conv2dCfg::new(1, Padding::Same);
+        let (vector, scalar) = both_paths(|| conv2d(&x, &w, None, &cfg));
+        for (a, b) in vector.data().iter().zip(scalar.data()) {
+            prop_assert!(a.to_bits() == b.to_bits(), "{a} vs {b} diverge on stripe");
+        }
+    }
+
+    /// The INT8 fast path (`qconv2d`) agrees with the reference loop
+    /// exactly — integer accumulation leaves no tolerance to hide behind —
+    /// and both dispatch modes produce the same bytes.
+    #[test]
+    fn qconv_matches_reference_exactly(
+        seed in 0u64..10_000,
+        in_c in 1usize..4,
+        out_c in 1usize..5,
+        hw in 4usize..9,
+        kernel in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        keep_percent in 10u32..90,
+    ) {
+        let x = random_tensor3(seed, in_c, hw, hw);
+        let w = pruned_weights(seed ^ 0x1A7E, out_c, in_c, kernel, keep_percent);
+        let cfg = Conv2dCfg::new(stride, Padding::Same);
+        let (qx, params) = quantized_workload(&x, &w, &cfg);
+        let reference = qconv2d_reference(&qx, &params, &cfg);
+        let (vector, scalar) = both_paths(|| qconv2d(&qx, &params, &cfg));
+        prop_assert_eq!(vector.data(), scalar.data(), "INT8 SIMD modes diverge");
+        prop_assert_eq!(vector.shape(), reference.shape());
+        prop_assert_eq!(vector.data(), reference.data(), "qconv2d diverges from reference");
+    }
+}

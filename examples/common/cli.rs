@@ -9,6 +9,8 @@
 //! -b, --backend KIND        conv backend: direct | gemm | sparse
 //! -p, --prune MODE          victim pruning: unstructured | N:M (e.g. 2:4)
 //!                           | structured[:KEEP_FRAC]
+//! -q, --quantize            deploy the victim as INT8 (post-training
+//!                           quantized, BN folded) instead of f32
 //! -o, --obs PATH            enable telemetry; write JSON to PATH and a
 //!                           Chrome trace next to it (.trace.json)
 //! -h, --help                usage
@@ -35,6 +37,8 @@ pub struct CliArgs {
     pub prune: PruneArg,
     /// `-o PATH`: telemetry JSON output path; presence enables telemetry.
     pub obs_out: Option<PathBuf>,
+    /// `-q`: deploy the victim INT8-quantized (PTQ with BN folding).
+    pub quantized: bool,
 }
 
 /// Victim pruning mode selected with `-p`/`--prune`.
@@ -149,6 +153,15 @@ impl CliArgs {
         self.backend.unwrap_or_default()
     }
 
+    /// The PE-array precision selected by `-q`.
+    pub fn precision(&self) -> hd_accel::Precision {
+        if self.quantized {
+            hd_accel::Precision::Int8
+        } else {
+            hd_accel::Precision::F32
+        }
+    }
+
     /// Whether telemetry collection was requested.
     pub fn telemetry(&self) -> bool {
         self.obs_out.is_some()
@@ -206,6 +219,9 @@ impl CliArgs {
                 "-o" | "--obs" => {
                     args.obs_out = Some(PathBuf::from(value_for(flag)?));
                 }
+                "-q" | "--quantize" => {
+                    args.quantized = true;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -233,6 +249,8 @@ fn usage(example: &str) -> String {
          \x20                       structured[:KEEP_FRAC] (default: unstructured)\n\
          \x20 -o, --obs PATH        enable telemetry; write summary JSON to PATH and a\n\
          \x20                       Chrome trace (load in chrome://tracing) next to it\n\
+         \x20 -q, --quantize        deploy the victim as INT8 (PTQ, BN folded) instead\n\
+         \x20                       of f32\n\
          \x20 -h, --help            show this help"
     )
 }

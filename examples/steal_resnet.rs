@@ -49,8 +49,12 @@ fn main() {
     let backend = args.backend_or_default();
     let accel = AccelConfig::builder()
         .conv_backend(backend)
+        .precision(args.precision())
         .build()
         .expect("valid accelerator config");
+    if args.quantized {
+        println!("precision: INT8 (post-training quantized, BN folded)");
+    }
     let device = Device::new(net.clone(), params, accel);
 
     let cfg = huffduff_core::AttackConfig::builder()
