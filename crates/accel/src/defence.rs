@@ -14,6 +14,17 @@
 //!   adding per-run noise to every volume. Breaks the one-sided-error
 //!   property the prober relies on, but the paper notes repeated trials
 //!   could average it out.
+//!
+//! A third, scheduling-level countermeasure targets the *timing* and
+//! *GEMM-dimension* channels instead of transfer volumes:
+//!
+//! * [`Defence::NnRearch`] — NNReArch-style schedule obfuscation (Li et
+//!   al.): the compiler pads every tile loop up to a multiple of `tile`,
+//!   so the psum-encode drain window and the GEMM block counts only reveal
+//!   layer dimensions *rounded up to the tile size*. Transfer volumes are
+//!   untouched (padded lanes hold architectural zeros the encoder still
+//!   elides), so HuffDuff's volume channel sails straight through — the
+//!   channel × defence matrix quantifies exactly that asymmetry.
 
 use hd_tensor::cast;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +48,31 @@ pub enum Defence {
         /// Seed for the device's internal noise generator.
         seed: u64,
     },
+    /// NNReArch-style schedule obfuscation: pad tile loops so timing
+    /// windows and GEMM dimensions appear rounded up to `tile` multiples.
+    /// Deterministic, volume-neutral, and costs dead compute cycles.
+    NnRearch {
+        /// Tile multiple every leaked dimension is rounded up to.
+        tile: usize,
+    },
+}
+
+impl Defence {
+    /// The tile multiple a dimension is rounded up to under this defence
+    /// (1 = no rounding). Guarded against a zero tile so callers can
+    /// divide by it unconditionally.
+    pub fn schedule_tile(&self) -> usize {
+        match self {
+            Defence::NnRearch { tile } => (*tile).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Rounds `dim` up to this defence's schedule tile.
+    pub fn pad_dim(&self, dim: usize) -> usize {
+        let t = self.schedule_tile();
+        dim.div_ceil(t) * t
+    }
 }
 
 /// Stateful noise source for [`Defence::RandomZeros`] (xorshift; the
@@ -128,6 +164,9 @@ pub fn defence_padding_bytes(
             (cast::usize_to_u64(edge_zero_cells) * u64::from(elem_bits)).div_ceil(8)
         }
         Defence::RandomZeros { max_bytes, .. } => noise.next_padding(*max_bytes),
+        // Schedule padding burns PE cycles, not DRAM bytes: padded lanes
+        // hold architectural zeros the sparse encoder still elides.
+        Defence::NnRearch { .. } => 0,
     }
 }
 
@@ -185,6 +224,23 @@ mod tests {
     fn noise_state_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<NoiseState>();
+    }
+
+    #[test]
+    fn nnrearch_pads_dims_but_never_bytes() {
+        let noise = NoiseState::new(1);
+        let d = Defence::NnRearch { tile: 16 };
+        assert_eq!(defence_padding_bytes(&d, &noise, 100, 8), 0);
+        assert_eq!(d.schedule_tile(), 16);
+        assert_eq!(d.pad_dim(1), 16);
+        assert_eq!(d.pad_dim(16), 16);
+        assert_eq!(d.pad_dim(17), 32);
+        // A zero tile degrades to the identity instead of dividing by zero.
+        let z = Defence::NnRearch { tile: 0 };
+        assert_eq!(z.pad_dim(7), 7);
+        // Non-scheduling defences never round.
+        assert_eq!(Defence::None.pad_dim(7), 7);
+        assert_eq!(Defence::PadEdges { band: 2 }.pad_dim(7), 7);
     }
 
     #[test]

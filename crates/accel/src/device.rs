@@ -93,6 +93,10 @@ pub struct Device {
     // is seeded, so every device over the same (net, params) quantizes
     // identically regardless of run order.
     qnet: OnceLock<hd_dnn::quantize::QuantizedNet>,
+    // Lazily-computed GEMM call dimensions per conv node (Im2colGemm
+    // backend only). A pure function of the sealed weights and config, so
+    // computed at most once per device.
+    gemm_shapes: OnceLock<Vec<(NodeId, hd_tensor::GemmShape)>>,
 }
 
 /// Ground-truth view handed out by [`Device::oracle`] for evaluation only.
@@ -179,6 +183,7 @@ impl Device {
             node_macs,
             fwd_cache: OnceLock::new(),
             qnet: OnceLock::new(),
+            gemm_shapes: OnceLock::new(),
         }
     }
 
@@ -437,7 +442,7 @@ impl Device {
             // 4) Encode + writeback phase: the timing side channel.
             let out_value = &trace.traces[id].out;
             let out_bytes = self.value_transfer_bytes(out_value, &noise);
-            let psum_elems = cast::usize_to_u64(out_value.flat().len());
+            let psum_elems = self.scheduled_psum_elems(out_value);
             let timing = encode_timing(&self.cfg, psum_elems, out_bytes);
             hd_obs::observe(
                 "device.encode.duration_ps",
@@ -476,10 +481,71 @@ impl Device {
             }
             let out_value = &trace.traces[id].out;
             let out_bytes = self.value_transfer_bytes(out_value, &noise);
-            let psum_elems = cast::usize_to_u64(out_value.flat().len());
+            let psum_elems = self.scheduled_psum_elems(out_value);
             v.push((id, encode_timing(&self.cfg, psum_elems, out_bytes)));
         }
         v
+    }
+
+    /// Psum count the encode pipeline actually drains for one output.
+    ///
+    /// Without a scheduling defence this is the output element count. An
+    /// NNReArch-style defence pads the tile loop, so the drain covers the
+    /// channel dimension rounded up to the schedule tile — the padded
+    /// lanes are architectural zeros that cost cycles but, being elided by
+    /// the sparse encoder, never move a byte (transfer volumes and traces
+    /// are untouched).
+    fn scheduled_psum_elems(&self, v: &Value) -> u64 {
+        let elems = cast::usize_to_u64(v.flat().len());
+        if self.cfg.defence.schedule_tile() == 1 {
+            return elems;
+        }
+        match v {
+            Value::Map(t) => cast::usize_to_u64(self.cfg.defence.pad_dim(t.c()) * t.h() * t.w()),
+            Value::Vector(x) => cast::usize_to_u64(self.cfg.defence.pad_dim(x.len())),
+        }
+    }
+
+    /// Dimensions of every GEMM call one inference issues, keyed by conv
+    /// node id, in execution order — the Cache-Telepathy observable (Yan
+    /// et al.): on a real system these leak through shared-cache probes of
+    /// the BLAS library's block loops, no DRAM access needed.
+    ///
+    /// Empty unless the device actually lowers convolutions through
+    /// im2col+GEMM ([`ConvBackend::Im2colGemm`]); the direct and sparse-CSC
+    /// backends issue no GEMM, so there is nothing to observe. Under
+    /// [`Defence::NnRearch`] every dimension is rounded up to the schedule
+    /// tile, which is exactly what the padded block loops expose.
+    ///
+    /// The dims are a pure function of the sealed weights and config
+    /// (input-independent), so they are computed once and cached.
+    pub fn gemm_calls(&self) -> &[(NodeId, hd_tensor::GemmShape)] {
+        self.gemm_shapes.get_or_init(|| {
+            if self.cfg.conv_backend != ConvBackend::Im2colGemm {
+                return Vec::new();
+            }
+            let mut calls = Vec::new();
+            for (id, node) in self.net.nodes().iter().enumerate() {
+                let Op::Conv(spec) = &node.op else { continue };
+                let Some(in_shape) = self.net.value_shape(node.inputs[0]).as_map() else {
+                    continue;
+                };
+                let cfg = hd_tensor::conv::Conv2dCfg::new(spec.stride, spec.padding);
+                let w = self.params.conv(id).w;
+                if let Some(g) = hd_tensor::gemm_call_dims(in_shape.h, in_shape.w, w, &cfg) {
+                    let d = &self.cfg.defence;
+                    calls.push((
+                        id,
+                        hd_tensor::GemmShape {
+                            m: d.pad_dim(g.m),
+                            k: d.pad_dim(g.k),
+                            n: d.pad_dim(g.n),
+                        },
+                    ));
+                }
+            }
+            calls
+        })
     }
 
     /// First-order energy estimate for one inference (see [`crate::energy`]).
@@ -884,6 +950,89 @@ mod tests {
         for (_, t) in &timings {
             assert!(t.duration_ps > 0);
         }
+    }
+
+    #[test]
+    fn nnrearch_equalizes_windows_but_not_traces() {
+        let build = |defence: Defence| {
+            let mut b = NetworkBuilder::new(2, 8, 8);
+            let x = b.input();
+            let x = b.conv(x, 4, 3, 1);
+            b.conv(x, 6, 3, 1);
+            let net = b.build();
+            let params = Params::init(&net, 42);
+            let mut cfg = AccelConfig::eyeriss_v2();
+            cfg.defence = defence;
+            Device::new(net, params, cfg)
+        };
+        let plain = build(Defence::None);
+        let padded = build(Defence::NnRearch { tile: 16 });
+        let img = Tensor3::full(2, 8, 8, 0.5);
+
+        // Schedule padding rounds both conv drains up to 16 channels, so
+        // the 4-channel and 6-channel layers become indistinguishable in
+        // the GLB-bound window; undefended they differ.
+        let w = |d: &Device| -> Vec<u64> {
+            d.encode_timings(&img)
+                .iter()
+                .map(|(_, t)| t.duration_ps)
+                .collect()
+        };
+        let (wp, wn) = (w(&padded), w(&plain));
+        assert_ne!(wn[0], wn[1], "undefended windows must differ");
+        assert_eq!(wp[0], wp[1], "NNReArch must equalize the windows");
+        assert!(wp[0] > wn[1], "padding can only lengthen the drain");
+
+        // The volume channel is untouched: every write's byte count (and
+        // address) matches the undefended device event for event.
+        let writes = |t: &Trace| -> Vec<(u64, u64)> {
+            t.events
+                .iter()
+                .filter(|e| e.kind == AccessKind::Write)
+                .map(|e| (e.addr, e.bytes))
+                .collect()
+        };
+        assert_eq!(writes(&plain.run(&img)), writes(&padded.run(&img)));
+    }
+
+    #[test]
+    fn gemm_calls_report_real_dims_and_respect_the_backend() {
+        let mk = |cfg: AccelConfig| {
+            let mut b = NetworkBuilder::new(3, 8, 8);
+            let x = b.input();
+            let x = b.conv(x, 4, 3, 1);
+            let x = b.conv(x, 6, 3, 2);
+            let x = b.global_avg_pool(x);
+            b.linear(x, 3);
+            let net = b.build();
+            let params = Params::init(&net, 7);
+            Device::new(net, params, cfg)
+        };
+        let gemm = mk(AccelConfig::eyeriss_v2().with_conv_backend(ConvBackend::Im2colGemm));
+        let calls = gemm.gemm_calls();
+        assert_eq!(calls.len(), 2, "one GEMM per conv node");
+        // Dense init: m = K, k = C·3·3, n = P·Q (Same padding).
+        assert_eq!(calls[0].1, hd_tensor::GemmShape { m: 4, k: 27, n: 64 });
+        assert_eq!(calls[1].1, hd_tensor::GemmShape { m: 6, k: 36, n: 16 });
+        // Cached: the second call returns the same slice.
+        assert_eq!(gemm.gemm_calls(), calls);
+
+        // Other backends issue no GEMM — nothing for the channel to see.
+        let direct = mk(AccelConfig::eyeriss_v2().with_conv_backend(ConvBackend::Direct));
+        assert!(direct.gemm_calls().is_empty());
+
+        // NNReArch rounds every dimension up to the schedule tile.
+        let mut cfg = AccelConfig::eyeriss_v2().with_conv_backend(ConvBackend::Im2colGemm);
+        cfg.defence = Defence::NnRearch { tile: 16 };
+        let defended = mk(cfg);
+        assert_eq!(
+            defended.gemm_calls()[0].1,
+            hd_tensor::GemmShape {
+                m: 16,
+                k: 32,
+                n: 64
+            }
+        );
     }
 
     #[test]

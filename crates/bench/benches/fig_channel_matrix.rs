@@ -1,0 +1,79 @@
+//! Artifact bench for the channel × defence matrix: runs the full
+//! zoo × observation-channel × defence attack grid and writes one JSON row
+//! per cell (per-stage recovery, probe budget) to
+//! `BENCH_channel_matrix.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p hd-bench --bench fig_channel_matrix
+//! HD_BENCH_SMOKE=1 cargo bench -p hd-bench --bench fig_channel_matrix   # CI
+//! ```
+//!
+//! Smoke mode shrinks the grid to one zoo entry and the {none, nn-rearch}
+//! defence pair, and skips the JSON write so CI cannot clobber the
+//! checked-in full-run artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hd_bench::experiments::{channel_matrix_cells, render_channel_matrix, CHANNEL_MATRIX_WIDTH};
+use hd_bench::Scale;
+use std::time::Instant;
+
+const BENCH_JSON: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_channel_matrix.json"
+);
+
+fn bench(_c: &mut Criterion) {
+    let smoke = std::env::var("HD_BENCH_SMOKE").is_ok();
+    let scale = if smoke { Scale::Smoke } else { Scale::Full };
+    let t0 = Instant::now();
+    let cells = channel_matrix_cells(scale);
+    let wall_s = t0.elapsed().as_secs_f64();
+    println!("{}", render_channel_matrix(&cells));
+    println!("{} cells in {wall_s:.1}s ({scale:?} scale)", cells.len());
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_channel_matrix.json");
+        return;
+    }
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"victim\": \"{}\", \"channel\": \"{}\", \"defence\": \"{}\", \
+                 \"probes_used\": {}, \"geometry_correct\": {}, \"geometry_total\": {}, \
+                 \"conv_correct\": {}, \"conv_total\": {}, \"ratios_recovered\": {}, \
+                 \"solution_count\": {}, \"k1_hit\": {} }}",
+                c.model.name(),
+                c.channel.label(),
+                c.defence,
+                c.probes_used,
+                c.geometry_correct,
+                c.geometry_total,
+                c.conv_correct,
+                c.conv_total,
+                c.ratios_recovered,
+                c.solution_count,
+                c.k1_hit,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig_channel_matrix\",\n  \"width\": {CHANNEL_MATRIX_WIDTH},\n  \
+         \"wall_s\": {wall_s:.1},\n  \
+         \"note\": \"attack-stage recovery per zoo x observation-channel x defence cell; \
+         width-scaled victims on the im2col+GEMM backend; full = paper channel, gemm = \
+         Cache-Telepathy-style GEMM dimensions; nn-rearch pads scheduler-visible dims to \
+         the tile, degrading the gemm channel while volume channels pass through\",\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(BENCH_JSON, json).expect("write BENCH_channel_matrix.json");
+    println!("wrote {BENCH_JSON}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench
+}
+criterion_main!(benches);

@@ -29,6 +29,7 @@ fn main() {
             "figs",
             "ablations",
             "prune_matrix",
+            "channel_matrix",
             "quantized",
         ]
     } else {
@@ -56,6 +57,7 @@ fn main() {
                 }
             }
             "prune_matrix" => println!("{}", prune_matrix(scale)),
+            "channel_matrix" => println!("{}", channel_matrix(scale)),
             "quantized" => println!("{}", quantized_table(scale)),
             "ablations" => {
                 println!("{}", codec_ablation(scale));
@@ -64,7 +66,7 @@ fn main() {
                 println!("{}", generality_sweep(scale));
             }
             other => {
-                eprintln!("unknown experiment `{other}`; known: table1 observability prober glb finalize figs fig4 fig5 fig6 ablations prune_matrix quantized all");
+                eprintln!("unknown experiment `{other}`; known: table1 observability prober glb finalize figs fig4 fig5 fig6 ablations prune_matrix channel_matrix quantized all");
                 std::process::exit(2);
             }
         }

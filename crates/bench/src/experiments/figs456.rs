@@ -172,13 +172,17 @@ pub fn prepare_models(scale: Scale, seed: u64) -> PreparedModels {
         ..Default::default()
     };
     let outcome = run(&device, &attack_cfg).expect("attack on mini victim succeeds");
-    let archs = outcome.space.sample(b.candidates, seed ^ 3);
-    let solution_count = outcome.space.count();
+    let space = outcome
+        .space
+        .as_ref()
+        .expect("full channel recovers a solution space");
+    let archs = space.sample(b.candidates, seed ^ 3);
+    let solution_count = space.count();
 
     // --- Train each sampled candidate under the iso-footprint constraint. ---
     let mut candidates = Vec::new();
     for (i, arch) in archs.iter().enumerate() {
-        let net = outcome.space.build_network(arch);
+        let net = space.build_network(arch);
         let (params, acc) = fit(
             &net,
             seed ^ (100 + i as u64),

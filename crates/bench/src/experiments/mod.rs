@@ -2,6 +2,7 @@
 //! suitable for printing and for recording in `EXPERIMENTS.md`.
 
 mod ablations;
+mod channel_matrix;
 mod figs456;
 mod glb;
 mod observability;
@@ -12,6 +13,10 @@ mod solutions;
 mod table1;
 
 pub use ablations::{codec_ablation, defence_ablation, generality_sweep, probe_budget_ablation};
+pub use channel_matrix::{
+    channel_matrix, channel_matrix_cells, matrix_defences, render_channel_matrix, ChannelCell,
+    CHANNEL_MATRIX_WIDTH,
+};
 pub use figs456::{fig4_accuracy, fig5_fig6_transfer, prepare_models, PreparedModels};
 pub use glb::glb_bound_table;
 pub use observability::observability_table;

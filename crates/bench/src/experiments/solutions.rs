@@ -42,16 +42,18 @@ pub fn final_solution_table(scale: Scale) -> Table {
             ..Default::default()
         };
         let outcome = run(&device, &cfg).expect("attack completes");
-        let lo = outcome.space.k1_candidates.first().copied().unwrap_or(0);
-        let hi = outcome.space.k1_candidates.last().copied().unwrap_or(0);
-        let filtered = outcome
+        let space = outcome
             .space
-            .filter_by_weight_footprints(&huffduff_core::CodecModel::default());
+            .as_ref()
+            .expect("full channel recovers a solution space");
+        let lo = space.k1_candidates.first().copied().unwrap_or(0);
+        let hi = space.k1_candidates.last().copied().unwrap_or(0);
+        let filtered = space.filter_by_weight_footprints(&huffduff_core::CodecModel::default());
         t.push_row(vec![
             model.name().to_string(),
             true_k1.to_string(),
             format!("[{lo}, {hi}]"),
-            outcome.space.count().to_string(),
+            space.count().to_string(),
             filtered.len().to_string(),
             filtered.contains(&true_k1).to_string(),
         ]);

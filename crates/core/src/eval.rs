@@ -71,14 +71,41 @@ impl GeometryScore {
 /// Scores a prober result against the oracle network.
 pub fn score_geometry(oracle: &Network, result: &ProberResult) -> GeometryScore {
     let expected = expected_kinds(oracle);
-    let total = expected.len().max(result.layers.len());
+    score_kinds(
+        &expected,
+        &result.layers.iter().map(|l| l.kind).collect::<Vec<_>>(),
+    )
+}
+
+/// Scores only the conv layers, index-aligned within each side's conv
+/// subsequence. This is the fair score for channels that cannot see
+/// weightless layers at all (the GEMM channel observes one call per conv
+/// and nothing else): [`score_geometry`] would charge them for every pool
+/// they structurally cannot report, hiding whether the convs themselves
+/// came out right.
+pub fn score_conv_geometry(oracle: &Network, result: &ProberResult) -> GeometryScore {
+    let expected: Vec<LayerKind> = expected_kinds(oracle)
+        .into_iter()
+        .filter(|k| matches!(k, LayerKind::Conv { .. }))
+        .collect();
+    let got: Vec<LayerKind> = result
+        .layers
+        .iter()
+        .map(|l| l.kind)
+        .filter(|k| matches!(k, LayerKind::Conv { .. }))
+        .collect();
+    score_kinds(&expected, &got)
+}
+
+fn score_kinds(expected: &[LayerKind], got: &[LayerKind]) -> GeometryScore {
+    let total = expected.len().max(got.len());
     let mut correct = 0;
     let mut mismatches = Vec::new();
     for i in 0..total {
         let e = expected.get(i);
-        let got = result.layers.get(i).map(|l| l.kind);
-        match (e, got) {
-            (Some(e), Some(g)) if *e == g => correct += 1,
+        let g = got.get(i);
+        match (e, g) {
+            (Some(e), Some(g)) if e == g => correct += 1,
             (e, g) => mismatches.push((
                 i,
                 e.map_or("<missing>".to_string(), |k| k.to_string()),
@@ -153,18 +180,58 @@ mod tests {
                 weight_bytes: 1,
                 output_bytes: 1,
                 encode_window_ps: 1,
+                gemm: None,
             }],
             probes_used: 1,
             runs_used: 1,
-            structure: hd_trace::TraceAnalysis {
-                tensors: vec![],
-                layers: vec![],
-            },
+            structure: None,
         };
         let score = score_geometry(&net, &result);
         assert_eq!(score.total, 1);
         assert_eq!(score.correct, 0);
         assert!(!score.perfect());
         assert_eq!(score.mismatches.len(), 1);
+    }
+
+    #[test]
+    fn conv_score_ignores_weightless_layers() {
+        // conv - pool - conv oracle against a result that only saw the two
+        // convs (as the GEMM channel would): full score is charged for the
+        // invisible pool, the conv score is not.
+        let mut b = NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        let x = b.conv(x, 4, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, 8, 3, 1);
+        let net = b.build();
+        let conv = |index: usize| crate::prober::RecoveredLayer {
+            index,
+            inputs: vec![index],
+            kind: LayerKind::Conv {
+                kernel: 3,
+                stride: 1,
+            },
+            alternatives: vec![],
+            out_hw: None,
+            pattern: crate::pattern::Pattern::of(&[0u8]),
+            weight_bytes: 1,
+            output_bytes: 1,
+            encode_window_ps: 0,
+            gemm: None,
+        };
+        let result = ProberResult {
+            layers: vec![conv(0), conv(1)],
+            probes_used: 1,
+            runs_used: 1,
+            structure: None,
+        };
+        assert!(!score_geometry(&net, &result).perfect());
+        let conv_score = score_conv_geometry(&net, &result);
+        assert!(
+            conv_score.perfect(),
+            "mismatches: {:?}",
+            conv_score.mismatches
+        );
+        assert_eq!(conv_score.total, 2);
     }
 }

@@ -40,15 +40,22 @@
 //!
 //! let outcome = run(&device, &AttackConfig::default()).unwrap();
 //! println!("{}", outcome.report());
-//! for candidate in outcome.space.sample(8, 42) {
-//!     let _net = outcome.space.build_network(&candidate);
+//! let space = outcome.space.as_ref().unwrap();
+//! for candidate in space.sample(8, 42) {
+//!     let _net = space.build_network(&candidate);
 //!     // retrain, evaluate, mount follow-up attacks…
 //! }
 //! ```
+//!
+//! Everything the attack learns flows through an observation channel
+//! ([`channel::ObservationModel`]): the full trace+timing channel of the
+//! paper, or restricted ones (trace-only, timing-only, GEMM dimensions)
+//! for comparing attacker capability against defences.
 
 pub mod anm;
 pub mod attack;
 pub mod boundary_obs;
+pub mod channel;
 pub mod eval;
 pub mod pattern;
 pub mod probe;
@@ -59,10 +66,15 @@ pub mod symbolic;
 pub mod timing;
 
 pub use attack::{run, AttackConfig, AttackConfigBuilder, AttackError, AttackOutcome};
+pub use channel::{
+    ChannelKind, FullChannel, GemmDims, LayerEvidence, Observation, ObservationModel, ObserveError,
+    TimingOnly, TraceOnly,
+};
 pub use pattern::Pattern;
+#[allow(deprecated)]
+pub use prober::ProbeTarget; // hd-lint: allow(no-deprecated) -- crate-root re-export of the migration shim
 pub use prober::{
-    probe as run_prober, ConfigError, LayerKind, ProbeTarget, ProberConfig, ProberConfigBuilder,
-    ProberResult,
+    probe as run_prober, ConfigError, LayerKind, ProberConfig, ProberConfigBuilder, ProberResult,
 };
 pub use solution::{CandidateArch, CodecModel, SolutionSpace};
 pub use timing::ChannelRatios;

@@ -14,60 +14,23 @@
 //! Channel counts are invisible to the boundary effect (§6.4); they come
 //! from the timing channel in [`crate::timing`].
 
+use crate::channel::{Observation, ObservationModel, ObserveError};
 use crate::pattern::Pattern;
 use crate::probe::stripe_probes;
 use crate::symbolic::{
     multiset_signature, sym_add, ConvHypothesis, Sym, SymConvLayer, SymPoolLayer, VarSource,
 };
-use hd_accel::{Device, Trace, TraceSink};
 use hd_pool::WorkerPool;
 use hd_tensor::conv::{conv_out_dim, Padding};
-use hd_tensor::{Shape3, Tensor3};
-use hd_trace::{StreamingAnalyzer, TensorId, TraceAnalysis};
+use hd_tensor::{GemmShape, Tensor3};
+use hd_trace::{TensorId, TraceAnalysis};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Anything the attacker can feed images to while watching the bus.
-///
-/// `Sync` is a supertrait so the prober can fan the independent inferences
-/// of one probe family across worker threads (`&dyn ProbeTarget` is `Send`
-/// exactly when the trait object is `Sync`). Implementations needing
-/// interior mutability should use thread-safe cells (`Mutex`, atomics).
-pub trait ProbeTarget: Sync {
-    /// The (publicly known) input shape.
-    fn input_shape(&self) -> Shape3;
-    /// Runs one inference, returning the observed bus trace.
-    fn run_probe(&self, image: &Tensor3) -> Trace;
-    /// Runs one inference, streaming bus events into `sink` as they occur.
-    ///
-    /// The prober analyzes probe runs incrementally through this entry, so
-    /// per-probe memory stays bounded by one encode window instead of the
-    /// full trace. The default replays the buffered [`ProbeTarget::run_probe`];
-    /// targets with a native streaming path (like the simulated device)
-    /// override it to skip the intermediate event vector entirely.
-    fn probe_into(&self, image: &Tensor3, sink: &mut dyn TraceSink) {
-        for e in self.run_probe(image).events {
-            sink.event(e);
-        }
-    }
-}
-
-impl ProbeTarget for Device {
-    fn input_shape(&self) -> Shape3 {
-        Device::input_shape(self)
-    }
-
-    fn run_probe(&self, image: &Tensor3) -> Trace {
-        self.run(image)
-    }
-
-    fn probe_into(&self, image: &Tensor3, sink: &mut dyn TraceSink) {
-        if let Err(e) = self.try_run_with(image, sink) {
-            // hd-lint: allow(no-panic) -- mirrors Device::run: probing treats simulation failure as fatal
-            panic!("device simulation failed: {e}");
-        }
-    }
-}
+// The pre-redesign attacker boundary stays importable from its old path
+// for one release; see `crate::channel` for the shim and its blanket impl.
+#[allow(deprecated)]
+pub use crate::channel::ProbeTarget; // hd-lint: allow(no-deprecated) -- re-export keeps the migration shim at its old path
 
 /// Recovered geometry class of one observed layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -122,12 +85,16 @@ pub struct RecoveredLayer {
     pub out_hw: Option<(usize, usize)>,
     /// The refined measured pattern (diagnostics).
     pub pattern: Pattern,
-    /// Observed compressed weight bytes.
+    /// Observed compressed weight bytes (0 when the channel hides sizes).
     pub weight_bytes: u64,
-    /// Observed compressed output bytes (from the first probe run).
+    /// Observed compressed output bytes from the first probe run (0 when
+    /// the channel hides volumes).
     pub output_bytes: u64,
-    /// Observed encode window in picoseconds (from the first probe run).
+    /// Observed encode window in picoseconds from the first probe run
+    /// (0 when the channel hides timing).
     pub encode_window_ps: u64,
+    /// Observed GEMM call dimensions, when the channel exposes them.
+    pub gemm: Option<GemmShape>,
 }
 
 /// Prober configuration.
@@ -364,8 +331,9 @@ pub struct ProberResult {
     pub probes_used: usize,
     /// Device inferences performed (`probes_used * shifts`).
     pub runs_used: usize,
-    /// Trace analysis of the first probe run (structure reference).
-    pub structure: TraceAnalysis,
+    /// Trace analysis of the first probe run, when the observation channel
+    /// exposes one (`None` for address-blind channels like timing/GEMM).
+    pub structure: Option<TraceAnalysis>,
 }
 
 impl ProberResult {
@@ -405,6 +373,12 @@ impl ProberResult {
 pub enum ProbeError {
     /// The bus trace could not be analyzed.
     Trace(hd_trace::AnalyzeTraceError),
+    /// The device simulation itself failed (malformed victim graph). The
+    /// pre-redesign boundary panicked here; the typed variant lets callers
+    /// probing many victims skip the broken one.
+    Device(hd_accel::DeviceError),
+    /// The chosen observation channel does not exist on this target.
+    ChannelUnavailable(&'static str),
     /// Probe runs disagreed on the number of layers (non-static victim).
     UnstableStructure,
 }
@@ -413,6 +387,8 @@ impl fmt::Display for ProbeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProbeError::Trace(e) => write!(f, "trace analysis failed: {e}"),
+            ProbeError::Device(e) => write!(f, "device simulation failed: {e}"),
+            ProbeError::ChannelUnavailable(why) => write!(f, "channel unavailable: {why}"),
             ProbeError::UnstableStructure => {
                 write!(f, "probe runs produced inconsistent layer structures")
             }
@@ -428,6 +404,16 @@ impl From<hd_trace::AnalyzeTraceError> for ProbeError {
     }
 }
 
+impl From<ObserveError> for ProbeError {
+    fn from(e: ObserveError) -> Self {
+        match e {
+            ObserveError::Trace(e) => ProbeError::Trace(e),
+            ObserveError::Device(e) => ProbeError::Device(e),
+            ObserveError::ChannelUnavailable(why) => ProbeError::ChannelUnavailable(why),
+        }
+    }
+}
+
 /// Runs the probing attack against a target.
 ///
 /// Fans each family's inferences across the process-wide [`WorkerPool`]
@@ -438,7 +424,10 @@ impl From<hd_trace::AnalyzeTraceError> for ProbeError {
 ///
 /// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
 /// structure varies across runs.
-pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResult, ProbeError> {
+pub fn probe(
+    target: &dyn ObservationModel,
+    cfg: &ProberConfig,
+) -> Result<ProberResult, ProbeError> {
     probe_with_pool(target, cfg, WorkerPool::global())
 }
 
@@ -454,7 +443,7 @@ pub fn probe(target: &dyn ProbeTarget, cfg: &ProberConfig) -> Result<ProberResul
 /// Returns [`ProbeError`] if traces cannot be analyzed or the victim's layer
 /// structure varies across runs.
 pub fn probe_with_pool(
-    target: &dyn ProbeTarget,
+    target: &dyn ObservationModel,
     cfg: &ProberConfig,
     pool: &WorkerPool,
 ) -> Result<ProberResult, ProbeError> {
@@ -469,7 +458,7 @@ pub fn probe_with_pool(
     // Families stay sequential (the early-stop decision after each family
     // depends on all earlier ones), but the `shifts` inferences inside one
     // family are independent and fan out across `workers` threads.
-    let mut structure: Option<TraceAnalysis> = None;
+    let mut first: Option<Observation> = None;
     let mut bytes_per_family: Vec<Vec<Vec<u64>>> = Vec::new(); // [family][shift][layer]
     let mut refined: Vec<Pattern> = Vec::new();
     let mut stable_for = 0usize;
@@ -487,19 +476,19 @@ pub fn probe_with_pool(
                 family.images.len() as u64,
             );
         }
-        let analyses = run_family(target, &family.images, workers, pool)?;
+        let observations = run_family(target, &family.images, workers, pool)?;
         let mut bytes_this: Vec<Vec<u64>> = Vec::with_capacity(shifts);
-        for analysis in analyses {
-            match &structure {
+        for obs in observations {
+            match &first {
                 None => {
-                    bytes_this.push(analysis.output_bytes_per_layer());
-                    structure = Some(analysis);
+                    bytes_this.push(obs.signal_per_layer());
+                    first = Some(obs);
                 }
-                Some(s) => {
-                    if analysis.layers.len() != s.layers.len() {
+                Some(f) => {
+                    if obs.layers.len() != f.layers.len() {
                         return Err(ProbeError::UnstableStructure);
                     }
-                    bytes_this.push(analysis.output_bytes_per_layer());
+                    bytes_this.push(obs.signal_per_layer());
                 }
             }
         }
@@ -508,7 +497,7 @@ pub fn probe_with_pool(
 
         // Refine patterns layer by layer.
         // hd-lint: allow(no-panic) -- set on the first loop iteration, and the loop runs at least once
-        let n_layers = structure.as_ref().unwrap().layers.len();
+        let n_layers = first.as_ref().unwrap().layers.len();
         let mut changed = false;
         for l in 0..n_layers {
             let series: Vec<u64> = bytes_per_family
@@ -540,41 +529,74 @@ pub fn probe_with_pool(
     }
 
     // hd-lint: allow(no-panic) -- cfg.max_probes >= 1 is validated, so the probe loop always runs
-    let structure = structure.expect("at least one probe ran");
+    let first = first.expect("at least one probe ran");
 
     // --- Classify each layer against symbolic hypotheses. ---
     let mut vars = VarSource::new(cfg.seed ^ 0xC0FFEE);
-    let mut tensor_rows: Vec<Option<Vec<Vec<Sym>>>> = vec![None; structure.tensors.len()];
-    let mut tensor_hw: Vec<Option<(usize, usize)>> = vec![None; structure.tensors.len()];
+    let mut tensor_rows: Vec<Option<Vec<Vec<Sym>>>> = vec![None; first.tensor_count];
+    let mut tensor_hw: Vec<Option<(usize, usize)>> = vec![None; first.tensor_count];
+    // Channel counts per tensor, where the channel reveals them (only the
+    // GEMM channel does: `m` = live output channels). The boundary-effect
+    // channels leave everything past the input `None` — channel counts are
+    // invisible to them (§6.4) and come from timing ratios instead.
+    let mut tensor_c: Vec<Option<usize>> = vec![None; first.tensor_count];
     tensor_rows[0] = Some(crate::symbolic::impulse_rows(shape.w, shifts, &mut vars));
     tensor_hw[0] = Some((shape.h, shape.w));
+    tensor_c[0] = Some(shape.c);
 
-    let n_layers = structure.layers.len();
+    let n_layers = first.layers.len();
     // A layer is "in the trunk" while any weightless layer (pool/add/GAP)
     // still executes after it; past the last one, weighted layers with no
-    // boundary signal are head (dense) layers.
+    // boundary signal are head (dense) layers. Channels that hide weight
+    // sizes see no weightless layers, so everything classifies as head —
+    // by design: without sizes the trunk/head split is unobservable.
     let mut in_trunk = vec![false; n_layers];
     let mut seen_weightless = false;
     for i in (0..n_layers).rev() {
         in_trunk[i] = seen_weightless;
-        if structure.layers[i].weight_bytes == 0 {
+        if first.layers[i].weight_bytes == Some(0) {
             seen_weightless = true;
         }
     }
 
     let mut layers: Vec<RecoveredLayer> = Vec::with_capacity(n_layers);
     let mut confidences: Vec<Confidence> = Vec::with_capacity(n_layers);
-    for obs in &structure.layers {
+    for obs in &first.layers {
         let meas = refined[obs.index].clone();
+
+        // GEMM evidence short-circuits the symbolic engine: the call
+        // dimensions name the geometry directly (Cache-Telepathy).
+        if let Some(g) = obs.gemm {
+            let in_hw = obs.inputs.first().and_then(|&src| tensor_hw[src]);
+            let in_c = obs.inputs.first().and_then(|&src| tensor_c[src]);
+            let classified = classify_gemm(g, in_hw, in_c, cfg);
+            tensor_rows[obs.output] = None;
+            tensor_hw[obs.output] = classified.hw;
+            tensor_c[obs.output] = Some(g.m);
+            confidences.push(classified.confidence);
+            layers.push(RecoveredLayer {
+                index: obs.index,
+                inputs: obs.inputs.clone(),
+                kind: classified.kind,
+                alternatives: classified.alternatives,
+                out_hw: classified.hw,
+                pattern: meas,
+                weight_bytes: obs.weight_bytes.unwrap_or(0),
+                output_bytes: obs.output_bytes.unwrap_or(0),
+                encode_window_ps: obs.encode_window_ps.unwrap_or(0),
+                gemm: Some(g),
+            });
+            continue;
+        }
 
         // Residual-join consistency: both inputs of an Add must share the
         // same spatial size. When they disagree, the lower-confidence
         // branch's producer (typically a signal-free 1x1/2 projection) has
         // its stride corrected to match the trusted branch, and its
         // symbolic state is rebuilt — stopping misclassification cascades.
-        if obs.inputs.len() == 2 && obs.weight_bytes == 0 {
+        if obs.inputs.len() == 2 && obs.weight_bytes == Some(0) {
             reconcile_join(
-                obs,
+                &obs.inputs,
                 &mut layers,
                 &confidences,
                 &mut tensor_rows,
@@ -618,9 +640,10 @@ pub fn probe_with_pool(
             alternatives: classified.alternatives,
             out_hw: classified.hw,
             pattern: meas,
-            weight_bytes: obs.weight_bytes,
-            output_bytes: obs.output_bytes,
-            encode_window_ps: obs.encode_window_ps,
+            weight_bytes: obs.weight_bytes.unwrap_or(0),
+            output_bytes: obs.output_bytes.unwrap_or(0),
+            encode_window_ps: obs.encode_window_ps.unwrap_or(0),
+            gemm: None,
         });
     }
 
@@ -628,34 +651,32 @@ pub fn probe_with_pool(
         layers,
         probes_used,
         runs_used: probes_used * shifts,
-        structure,
+        structure: first.structure,
     })
 }
 
-/// Runs one probe inference and analyzes its trace incrementally.
+/// Runs one probe inference through the observation model.
 ///
 /// Telemetry prep (wall-clock read) only runs when enabled; the disabled
 /// path is a single relaxed atomic load, and the enabled path allocates
 /// nothing per probe (static names, empty labels).
-fn run_one(target: &dyn ProbeTarget, img: &Tensor3) -> Result<TraceAnalysis, ProbeError> {
+fn run_one(target: &dyn ObservationModel, img: &Tensor3) -> Result<Observation, ProbeError> {
     let shift_timer = if hd_obs::enabled() {
         Some((hd_obs::span("prober.shift", ""), hd_obs::monotonic_us()))
     } else {
         None
     };
     hd_obs::counter_add("prober.probe_runs", "", 1);
-    let mut sink = StreamingAnalyzer::new();
-    target.probe_into(img, &mut sink);
-    let analysis = sink.finish()?;
+    let obs = target.observe(img)?;
     if let Some((_span, t0)) = shift_timer {
         let elapsed_us = hd_obs::monotonic_us().saturating_sub(t0);
         hd_obs::observe("prober.shift_latency_us", "", elapsed_us as f64);
     }
-    Ok(analysis)
+    Ok(obs)
 }
 
 /// Runs every probe image of one family against the target and returns the
-/// analyses **in image-index order**, regardless of scheduling.
+/// observations **in image-index order**, regardless of scheduling.
 ///
 /// The parallel path hands the family to the persistent [`WorkerPool`]:
 /// workers steal one image at a time off a shared counter (no static
@@ -672,11 +693,11 @@ fn run_one(target: &dyn ProbeTarget, img: &Tensor3) -> Result<TraceAnalysis, Pro
 /// error is the lowest failing image index, exactly what the serial
 /// short-circuit path reports.
 fn run_family(
-    target: &dyn ProbeTarget,
+    target: &dyn ObservationModel,
     images: &[Tensor3],
     workers: usize,
     pool: &WorkerPool,
-) -> Result<Vec<TraceAnalysis>, ProbeError> {
+) -> Result<Vec<Observation>, ProbeError> {
     if workers <= 1 || images.len() <= 1 {
         return images.iter().map(|img| run_one(target, img)).collect();
     }
@@ -747,11 +768,12 @@ impl Classified {
     }
 }
 
-/// Observation context for one layer's classification.
+/// Observation context for one layer's classification. Fields are `None`
+/// when the channel hides them (restricted channels degrade to priors).
 struct LayerContext {
-    weight_bytes: u64,
-    input_bytes: u64,
-    output_bytes: u64,
+    weight_bytes: Option<u64>,
+    input_bytes: Option<u64>,
+    output_bytes: Option<u64>,
     /// Whether any weightless layer (pool/add/GAP) executes later — i.e.
     /// this layer still sits inside the convolutional trunk.
     in_trunk: bool,
@@ -764,14 +786,14 @@ struct LayerContext {
 /// so its output matches the trusted branch, and its symbolic rows are
 /// rebuilt with the corrected geometry.
 fn reconcile_join(
-    obs: &hd_trace::LayerObs,
+    inputs: &[TensorId],
     layers: &mut [RecoveredLayer],
     confidences: &[Confidence],
     tensor_rows: &mut [Option<Vec<Vec<Sym>>>],
     tensor_hw: &mut [Option<(usize, usize)>],
     vars: &mut VarSource,
 ) {
-    let (ta, tb) = (obs.inputs[0], obs.inputs[1]);
+    let (ta, tb) = (inputs[0], inputs[1]);
     let (Some(hwa), Some(hwb)) = (tensor_hw[ta], tensor_hw[tb]) else {
         return;
     };
@@ -870,7 +892,7 @@ fn classify_layer(
     };
     let hw = input_hw[0];
 
-    if ctx.weight_bytes == 0 {
+    if ctx.weight_bytes == Some(0) {
         // Pooling (or global pooling, which matches no finite factor).
         // A factor-f pool shrinks the transfer volume by at most ~f^2
         // (modulo density changes); global pooling collapses it entirely,
@@ -883,10 +905,13 @@ fn classify_layer(
             // is non-zero iff its window holds any non-zero, so
             // out * f^2 >= in (up to byte rounding). Global pooling
             // collapses far below that; 1.5x slack absorbs the rounding.
-            let volume_ok = ctx
-                .output_bytes
-                .saturating_mul((factor * factor * 3) as u64)
-                >= ctx.input_bytes.saturating_mul(2);
+            let volume_ok = match (ctx.output_bytes, ctx.input_bytes) {
+                (Some(out), Some(inp)) => {
+                    out.saturating_mul((factor * factor * 3) as u64) >= inp.saturating_mul(2)
+                }
+                // A channel hiding volumes cannot rule the factor out.
+                _ => true,
+            };
             if !volume_ok {
                 continue;
             }
@@ -1064,6 +1089,79 @@ fn classify_layer(
     Classified::new(LayerKind::Dense, Vec::new(), None, None, Confidence::Coarse)
 }
 
+/// Classifies one layer from its GEMM call dimensions alone (the
+/// Cache-Telepathy readout, Yan et al.).
+///
+/// * Kernel: the live tap count `k` satisfies `k <= C·R·S`, and with the
+///   mild density the paper assumes, `k > C·r²` for every `r < R` — so the
+///   smallest candidate `r` with `C·r² >= k` is the kernel. NNReArch pads
+///   `k` up to a tile multiple, pushing the inference *past* the true
+///   kernel (27 live taps padded to 32 reads as 5x5 when `C = 3`).
+/// * Stride: under `Same` padding the output size `ceil(d/s)` is
+///   kernel-independent, so `n = P·Q` names the smallest stride with
+///   `ceil(h/s)·ceil(w/s) == n`. An un-observed pooling layer folds into
+///   the stride estimate (pool/2 + conv/1 reads as conv/2 — the classic
+///   GEMM-channel ambiguity); a padded `n` matches no candidate at all.
+///
+/// When either inference fails the layer falls back to the common-CNN
+/// prior with an unknown output size, and — since the next layer's input
+/// geometry is then unknown too — the degradation cascades. That cascade
+/// is exactly what the channel × defence matrix measures for NNReArch.
+fn classify_gemm(
+    g: GemmShape,
+    in_hw: Option<(usize, usize)>,
+    in_c: Option<usize>,
+    cfg: &ProberConfig,
+) -> Classified {
+    let mut kernels = cfg.kernels.clone();
+    kernels.sort_unstable();
+    let kernel = in_c.and_then(|c| kernels.iter().copied().find(|&r| c * r * r >= g.k));
+    let stride = in_hw.and_then(|(h, w)| {
+        let mut strides = cfg.strides.clone();
+        strides.sort_unstable();
+        strides.into_iter().find(|&s| {
+            conv_out_dim(h, 1, s, Padding::Same) * conv_out_dim(w, 1, s, Padding::Same) == g.n
+        })
+    });
+    if let (Some(kernel), Some(stride), Some((h, w))) = (kernel, stride, in_hw) {
+        let hw = (
+            conv_out_dim(h, kernel, stride, Padding::Same),
+            conv_out_dim(w, kernel, stride, Padding::Same),
+        );
+        return Classified::new(
+            LayerKind::Conv { kernel, stride },
+            vec![LayerKind::Conv { kernel, stride }],
+            None,
+            Some(hw),
+            Confidence::Exact,
+        );
+    }
+    let kernel = kernel.unwrap_or_else(|| {
+        if cfg.kernels.contains(&3) {
+            3
+        } else {
+            cfg.kernels.first().copied().unwrap_or(3)
+        }
+    });
+    let alternatives = cfg
+        .kernels
+        .iter()
+        .flat_map(|&k| {
+            cfg.strides.iter().map(move |&s| LayerKind::Conv {
+                kernel: k,
+                stride: s,
+            })
+        })
+        .collect();
+    Classified::new(
+        LayerKind::Conv { kernel, stride: 1 },
+        alternatives,
+        None,
+        None,
+        Confidence::Default,
+    )
+}
+
 /// Common-CNN prior ordering over conv hypotheses: 3x3/1 first, then the
 /// remaining stride-1 kernels small-to-large, then stride-2 variants.
 fn prior_rank(h: ConvHypothesis) -> (usize, usize, usize) {
@@ -1094,8 +1192,9 @@ fn pick_pool(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hd_accel::AccelConfig;
+    use hd_accel::{AccelConfig, Device, Trace};
     use hd_dnn::graph::{NetworkBuilder, Params};
+    use hd_tensor::Shape3;
 
     fn device_for(net: hd_dnn::graph::Network, seed: u64) -> Device {
         let mut params = Params::init(&net, seed);
@@ -1287,7 +1386,7 @@ mod tests {
         let x = b.input();
         b.conv(x, 8, 3, 1);
         let dev = device_for(b.build(), 22);
-        let fams = stripe_probes(ProbeTarget::input_shape(&dev), 12, 1, 99);
+        let fams = stripe_probes(dev.input_shape(), 12, 1, 99);
         let pool = WorkerPool::new(3);
         let serial = run_family(&dev, &fams[0].images, 1, &pool).unwrap();
         // Worker caps above, below, and equal to the pool size all reduce
@@ -1301,6 +1400,10 @@ mod tests {
     /// Fails (empty trace → `NoWrites`) for every image whose index — read
     /// back out of the stripe the probe generator painted — is at least
     /// `fail_from`, and counts how many probes actually execute.
+    ///
+    /// Deliberately still implements the deprecated [`ProbeTarget`]: it
+    /// doubles as the migration-shim regression (legacy targets must keep
+    /// working through the blanket [`ObservationModel`] impl).
     struct FailingTarget {
         shape: Shape3,
         fail_from: usize,
@@ -1316,6 +1419,7 @@ mod tests {
         }
     }
 
+    #[allow(deprecated)]
     impl ProbeTarget for FailingTarget {
         fn input_shape(&self) -> Shape3 {
             self.shape
@@ -1452,6 +1556,109 @@ mod tests {
             ..ProberConfig::default()
         };
         assert!(raw.validate().is_err());
+    }
+
+    /// The redesign's panic-removal regression: a malformed victim graph
+    /// (stray `Input` node, unreachable via `NetworkBuilder`) used to abort
+    /// the whole campaign inside `probe_into`; it must now surface as
+    /// [`ProbeError::Device`].
+    #[test]
+    fn failing_device_surfaces_probe_error_instead_of_aborting() {
+        use hd_dnn::graph::{ConvSpec, Network, Node, Op, ValueShape};
+        let shape = Shape3::new(2, 8, 8);
+        let net = Network::from_raw_parts(
+            vec![
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Input,
+                    inputs: vec![],
+                },
+                Node {
+                    op: Op::Conv(ConvSpec::standard(4, 3, 1)),
+                    inputs: vec![1],
+                },
+            ],
+            shape,
+            vec![
+                ValueShape::Map(shape),
+                ValueShape::Map(shape),
+                ValueShape::Map(Shape3::new(4, 8, 8)),
+            ],
+            vec!["input0".into(), "input1".into(), "conv2".into()],
+        );
+        let params = Params::init(&net, 1);
+        let dev = Device::new_unchecked(net, params, AccelConfig::eyeriss_v2());
+        for parallelism in [Some(1), Some(4)] {
+            let err = probe(&dev, &small_cfg().with_parallelism(parallelism)).unwrap_err();
+            assert_eq!(
+                err,
+                ProbeError::Device(hd_accel::DeviceError::MissingProducer { node: 2, input: 1 }),
+                "parallelism {parallelism:?}"
+            );
+        }
+    }
+
+    /// The GEMM-dimension channel names conv geometry directly: `m` bounds
+    /// live filters, `k` the taps (kernel), `n` the output pixels (stride).
+    #[test]
+    fn gemm_channel_recovers_conv_geometry_exactly() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        b.conv(x, 12, 5, 2);
+        let net = b.build();
+        // Dense init: the tap counts are exact, so the kernel bound is tight.
+        let params = Params::init(&net, 5);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let res = probe(&crate::channel::GemmDims::new(&dev), &small_cfg()).unwrap();
+        assert_eq!(res.layers.len(), 2);
+        assert_eq!(
+            res.layers[0].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 1
+            }
+        );
+        assert_eq!(res.layers[0].out_hw, Some((16, 16)));
+        assert_eq!(res.layers[0].gemm.map(|g| g.m), Some(8));
+        assert_eq!(
+            res.layers[1].kind,
+            LayerKind::Conv {
+                kernel: 5,
+                stride: 2
+            }
+        );
+        assert_eq!(res.layers[1].out_hw, Some((8, 8)));
+        assert_eq!(res.layers[1].gemm.map(|g| g.m), Some(12));
+        // Address-blind channel: no trace analysis to reference.
+        assert!(res.structure.is_none());
+    }
+
+    /// The classic GEMM-channel ambiguity: an un-observed pooling layer
+    /// folds into the next conv's stride estimate.
+    #[test]
+    fn gemm_channel_reads_pool_conv_as_strided_conv() {
+        let mut b = NetworkBuilder::new(3, 16, 16);
+        let x = b.input();
+        let x = b.conv(x, 8, 3, 1);
+        let x = b.max_pool(x, 2);
+        b.conv(x, 8, 3, 1);
+        let net = b.build();
+        let params = Params::init(&net, 5);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let res = probe(&crate::channel::GemmDims::new(&dev), &small_cfg()).unwrap();
+        assert_eq!(res.layers.len(), 2, "the pool issues no GEMM");
+        assert_eq!(
+            res.layers[1].kind,
+            LayerKind::Conv {
+                kernel: 3,
+                stride: 2
+            },
+            "pool/2 + conv/1 is indistinguishable from conv/2"
+        );
     }
 
     #[test]

@@ -77,10 +77,34 @@ pub fn channel_ratios(prober: &ProberResult) -> Result<ChannelRatios, TimingErro
         let (_, base) = *first.get_or_insert((i, per_pixel));
         ratios.push((i, per_pixel / base));
     }
-    let Some((baseline, _)) = first else {
+    if let Some((baseline, _)) = first {
+        return Ok(ChannelRatios { baseline, ratios });
+    }
+
+    // GEMM-dimension fallback (never taken on the full channel, whose
+    // layers carry windows but no GEMM evidence): `m` *is* the live
+    // channel count, so the "ratios" are exact rather than timing-derived.
+    let mut gemm_ratios = Vec::new();
+    let mut gemm_first: Option<(usize, f64)> = None;
+    for (i, layer) in prober.layers.iter().enumerate() {
+        if !matches!(layer.kind, LayerKind::Conv { .. }) {
+            continue;
+        }
+        let Some(g) = layer.gemm else { continue };
+        if g.m == 0 {
+            continue;
+        }
+        let m = g.m as f64;
+        let (_, base) = *gemm_first.get_or_insert((i, m));
+        gemm_ratios.push((i, m / base));
+    }
+    let Some((baseline, _)) = gemm_first else {
         return Err(TimingError::NoConvLayers);
     };
-    Ok(ChannelRatios { baseline, ratios })
+    Ok(ChannelRatios {
+        baseline,
+        ratios: gemm_ratios,
+    })
 }
 
 #[cfg(test)]
@@ -161,6 +185,7 @@ mod tests {
             weight_bytes: 64,
             output_bytes: 64,
             encode_window_ps,
+            gemm: None,
         }
     }
 
@@ -179,10 +204,7 @@ mod tests {
             ],
             probes_used: 1,
             runs_used: 12,
-            structure: hd_trace::TraceAnalysis {
-                tensors: vec![],
-                layers: vec![],
-            },
+            structure: None,
         };
         let ratios = channel_ratios(&res).unwrap();
         assert_eq!(ratios.baseline, 1, "baseline must skip the sub-burst conv");
@@ -220,10 +242,7 @@ mod tests {
             layers: vec![],
             probes_used: 0,
             runs_used: 0,
-            structure: hd_trace::TraceAnalysis {
-                tensors: vec![],
-                layers: vec![],
-            },
+            structure: None,
         };
         assert_eq!(channel_ratios(&empty), Err(TimingError::NoConvLayers));
     }

@@ -63,6 +63,56 @@ impl ConvGeom {
     }
 }
 
+/// Dimensions of the single GEMM call one im2col convolution issues:
+/// `C (m x n) = A (m x k) · B (k x n)`.
+///
+/// These are exactly the values a Cache-Telepathy-style attacker recovers
+/// by watching the BLAS library's block iteration counts (Yan et al.):
+/// `m` counts live filter rows (`= K` unless whole filters are pruned),
+/// `k` counts live taps (`<= C·R·S`), and `n` is the output pixel count
+/// `P·Q` — a pure function of input size, kernel, stride, and padding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Live filter rows (output channels with at least one nonzero weight).
+    pub m: usize,
+    /// Live taps (shared dimension, `<= C·R·S`).
+    pub k: usize,
+    /// Output pixels `P·Q`.
+    pub n: usize,
+}
+
+/// The GEMM dimensions [`conv2d_im2col_gemm`] would use for this layer, or
+/// `None` when it issues no GEMM at all (empty output, fully pruned
+/// weights). Must mirror that function's early-outs exactly — the
+/// differential test below holds the two in lockstep.
+pub fn gemm_call_dims(
+    in_h: usize,
+    in_w: usize,
+    weight: &Tensor4,
+    cfg: &Conv2dCfg,
+) -> Option<GemmShape> {
+    let geom = ConvGeom::of(in_h, in_w, weight.r(), weight.s(), cfg);
+    let n = geom.out_len();
+    if n == 0 {
+        return None;
+    }
+    let taps = nonzero_taps(weight);
+    if taps.is_empty() {
+        return None;
+    }
+    let m = (0..weight.k())
+        .filter(|&k| taps.iter().any(|&(c, r, s)| weight.at(k, c, r, s) != 0.0))
+        .count();
+    if m == 0 {
+        return None;
+    }
+    Some(GemmShape {
+        m,
+        k: taps.len(),
+        n,
+    })
+}
+
 /// Taps `(c, r, s)` in ascending lexicographic order whose weight column is
 /// non-zero in at least one filter — the patch-matrix rows worth gathering.
 pub fn nonzero_taps(weight: &Tensor4) -> Vec<(usize, usize, usize)> {
@@ -416,6 +466,46 @@ mod tests {
                 assert!(a.to_bits() == b.to_bits(), "{a} vs {b}");
             }
         }
+    }
+
+    /// Differential test: `gemm_call_dims` must agree with the shapes
+    /// `conv2d_im2col_gemm` actually hands to [`crate::gemm::gemm`] for
+    /// dense, tap-pruned, row-pruned, fully-pruned, and zero-output cases.
+    #[test]
+    fn gemm_call_dims_mirror_the_real_gemm() {
+        let c1 = cfg(1, Padding::Same, ConvBackend::Im2colGemm);
+
+        // Dense: m = K, k = C·R·S, n = H·W under Same/stride-1.
+        let mut w = Tensor4::zeros(5, 3, 3, 3);
+        w.init_he(&mut StdRng::seed_from_u64(2));
+        let g = gemm_call_dims(9, 7, &w, &c1).expect("dense conv issues a GEMM");
+        assert_eq!(g, GemmShape { m: 5, k: 27, n: 63 });
+
+        // Tap + row pruning shrink m and k exactly like the kernel does.
+        for k in 0..5 {
+            w.set(k, 1, 0, 2, 0.0); // kill tap (1, 0, 2)
+        }
+        let plane = w.len() / 5;
+        for i in 0..plane {
+            w.data_mut()[3 * plane + i] = 0.0; // kill filter k=3
+        }
+        let g = gemm_call_dims(9, 7, &w, &c1).expect("pruned conv still issues a GEMM");
+        assert_eq!(g, GemmShape { m: 4, k: 26, n: 63 });
+
+        // Stride shrinks n only: ceil(9/2)·ceil(7/2) = 5·4.
+        let c2 = cfg(2, Padding::Same, ConvBackend::Im2colGemm);
+        let g2 = gemm_call_dims(9, 7, &w, &c2).expect("strided conv issues a GEMM");
+        assert_eq!((g2.m, g2.k, g2.n), (g.m, g.k, 20));
+
+        // Fully pruned: conv2d_im2col_gemm returns before the GEMM.
+        let dead = Tensor4::zeros(3, 2, 3, 3);
+        assert_eq!(gemm_call_dims(5, 5, &dead, &c1), None);
+
+        // Zero-dim output (Valid padding, input smaller than kernel).
+        let mut w2 = Tensor4::zeros(2, 1, 3, 3);
+        w2.init_he(&mut StdRng::seed_from_u64(3));
+        let valid = cfg(1, Padding::Valid, ConvBackend::Im2colGemm);
+        assert_eq!(gemm_call_dims(2, 2, &w2, &valid), None);
     }
 
     #[test]

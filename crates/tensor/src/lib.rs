@@ -46,6 +46,7 @@ pub mod tensor;
 pub use colspan::ColSpan;
 pub use conv::{BackendPolicy, ConvBackend};
 pub use csc_conv::CscWeights;
+pub use im2col::{gemm_call_dims, GemmShape};
 pub use qtensor::{QTensor3, QTensor4, QuantParams};
 pub use shape::Shape3;
 pub use sparse::{CompressionScheme, EncodedSize};

@@ -7,6 +7,7 @@
 //! ```text
 //! -j, --parallelism N       prober worker threads (default: all cores)
 //! -b, --backend KIND        conv backend: direct | gemm | sparse
+//! -c, --channel KIND        observation channel: full | trace | timing | gemm
 //! -p, --prune MODE          victim pruning: unstructured | N:M (e.g. 2:4)
 //!                           | structured[:KEEP_FRAC]
 //! -q, --quantize            deploy the victim as INT8 (post-training
@@ -24,6 +25,7 @@
 #![allow(dead_code)]
 
 use hd_tensor::ConvBackend;
+use huffduff_core::ChannelKind;
 use std::path::{Path, PathBuf};
 
 /// Parsed common options.
@@ -33,6 +35,8 @@ pub struct CliArgs {
     pub parallelism: Option<usize>,
     /// `-b KIND`: simulator conv backend (`None` = crate default).
     pub backend: Option<ConvBackend>,
+    /// `-c KIND`: the observation channel the attacker reads.
+    pub channel: ChannelKind,
     /// `-p MODE`: how the victim is pruned before the attack.
     pub prune: PruneArg,
     /// `-o PATH`: telemetry JSON output path; presence enables telemetry.
@@ -213,6 +217,12 @@ impl CliArgs {
                     })?;
                     args.backend = Some(backend);
                 }
+                "-c" | "--channel" => {
+                    let v = value_for(flag)?;
+                    args.channel = ChannelKind::parse(&v).ok_or_else(|| {
+                        format!("unknown channel {v:?} (expected full, trace, timing, or gemm)")
+                    })?;
+                }
                 "-p" | "--prune" => {
                     args.prune = PruneArg::parse(&value_for(flag)?)?;
                 }
@@ -245,6 +255,9 @@ fn usage(example: &str) -> String {
          options:\n\
          \x20 -j, --parallelism N   prober worker threads (default: all cores)\n\
          \x20 -b, --backend KIND    conv backend: direct | gemm | sparse (default: gemm)\n\
+         \x20 -c, --channel KIND    observation channel the attacker reads: full | trace |\n\
+         \x20                       timing | gemm (default: full; gemm needs the gemm\n\
+         \x20                       backend)\n\
          \x20 -p, --prune MODE      victim pruning: unstructured | N:M (e.g. 2:4) |\n\
          \x20                       structured[:KEEP_FRAC] (default: unstructured)\n\
          \x20 -o, --obs PATH        enable telemetry; write summary JSON to PATH and a\n\

@@ -20,7 +20,8 @@ mod cli;
 
 use huffduff::prelude::*;
 use huffduff_core::eval::score_geometry;
-use huffduff_core::prober::{probe, ProbeTarget, ProberConfig};
+use huffduff_core::prober::{probe, ProberConfig};
+use huffduff_core::{Observation, ObservationModel, ObserveError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -28,39 +29,38 @@ use std::sync::Mutex;
 /// A device whose output tensors are padded with a random number of
 /// uncompressed zeros per run (volume-channel noise injection).
 ///
-/// `ProbeTarget: Sync` (the prober may fan probes across threads), so the
-/// noise RNG sits behind a `Mutex` rather than a `RefCell`. This target is
-/// intentionally schedule-dependent — the example probes it serially.
+/// `ObservationModel: Sync` (the prober may fan probes across threads), so
+/// the noise RNG sits behind a `Mutex` rather than a `RefCell`. This model
+/// is intentionally schedule-dependent — the example probes it serially.
 struct NoisyDevice {
     inner: Device,
     noise_bytes: u64,
     rng: Mutex<StdRng>,
 }
 
-impl ProbeTarget for NoisyDevice {
+impl ObservationModel for NoisyDevice {
     fn input_shape(&self) -> hd_tensor::Shape3 {
         self.inner.input_shape()
     }
 
-    fn run_probe(&self, image: &Tensor3) -> hd_accel::Trace {
+    fn observe(&self, image: &Tensor3) -> Result<Observation, ObserveError> {
         let mut trace = self.inner.run(image);
-        if self.noise_bytes == 0 {
-            return trace;
-        }
-        let mut rng = self.rng.lock().expect("noise RNG lock");
-        for i in 0..trace.events.len() {
-            let e = trace.events[i];
-            if e.kind != hd_accel::AccessKind::Write {
-                continue;
+        if self.noise_bytes > 0 {
+            let mut rng = self.rng.lock().expect("noise RNG lock");
+            for i in 0..trace.events.len() {
+                let e = trace.events[i];
+                if e.kind != hd_accel::AccessKind::Write {
+                    continue;
+                }
+                let stream_ends = trace.events.get(i + 1).is_none_or(|n| {
+                    n.kind != hd_accel::AccessKind::Write || n.addr != e.addr + e.bytes
+                });
+                if stream_ends {
+                    trace.events[i].bytes += rng.gen_range(0..=self.noise_bytes);
+                }
             }
-            let stream_ends = trace.events.get(i + 1).is_none_or(|n| {
-                n.kind != hd_accel::AccessKind::Write || n.addr != e.addr + e.bytes
-            });
-            if stream_ends {
-                trace.events[i].bytes += rng.gen_range(0..=self.noise_bytes);
-            }
         }
-        trace
+        Ok(Observation::from_trace(hd_trace::analyze(&trace)?))
     }
 }
 

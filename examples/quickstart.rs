@@ -66,8 +66,9 @@ fn main() {
     println!("{}", outcome.report());
 
     // 6. Sample candidate architectures and rebuild them as trainable nets.
-    for arch in outcome.space.sample(3, 42) {
-        let candidate = outcome.space.build_network(&arch);
+    let space = outcome.space.as_ref().expect("full channel finalizes");
+    for arch in space.sample(3, 42) {
+        let candidate = space.build_network(&arch);
         println!(
             "candidate k1={}: {} nodes, ready for retraining",
             arch.k1,

@@ -14,8 +14,12 @@
 //! cargo run --release --example steal_resnet -- -b direct    # direct conv loop
 //! cargo run --release --example steal_resnet -- -o obs.json  # telemetry export
 //! cargo run --release --example steal_resnet -- -p 2:4       # N:M sparse victim
+//! cargo run --release --example steal_resnet -- -c trace     # volumes, no timing
 //! cargo run --release --example steal_resnet -- --help       # all options
 //! ```
+//!
+//! `-c` restricts the observation channel (`full`, `trace`, `timing`, or
+//! `gemm`); the report shows which attack stages the restriction costs.
 //!
 //! `-p structured[:FRAC]` runs the channel-removal pass first (residual
 //! adds keep both operands on one channel set), so the attack reads the
@@ -67,15 +71,18 @@ fn main() {
         .build()
         .expect("valid attack config");
     println!(
-        "prober workers: {} ({} probe inferences fan out per family), conv backend: {}",
+        "prober workers: {} ({} probe inferences fan out per family), conv backend: {}, \
+         observation channel: {}",
         cfg.prober.effective_parallelism(cfg.prober.shifts),
         cfg.prober.shifts,
-        backend
+        backend,
+        args.channel
     );
 
     cli::obs_begin(&args);
     let t0 = std::time::Instant::now();
-    let outcome = huffduff_core::run(&device, &cfg).expect("attack runs");
+    let model = args.channel.model(&device);
+    let outcome = huffduff_core::run(model.as_ref(), &cfg).expect("attack runs");
     println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
     cli::obs_finish(&args);
     println!("{}", outcome.prober.report());
@@ -111,10 +118,16 @@ fn main() {
         println!("  layer {idx}: true {want}, point estimate {got} (candidates: {alts})");
     }
 
-    println!(
-        "\nsolution space: {} candidates, k1 range [{}, {}] (paper: 44, [30, 73])",
-        outcome.space.count(),
-        outcome.space.k1_candidates.first().unwrap_or(&0),
-        outcome.space.k1_candidates.last().unwrap_or(&0),
-    );
+    match &outcome.space {
+        Some(space) => println!(
+            "\nsolution space: {} candidates, k1 range [{}, {}] (paper: 44, [30, 73])",
+            space.count(),
+            space.k1_candidates.first().unwrap_or(&0),
+            space.k1_candidates.last().unwrap_or(&0),
+        ),
+        None => println!(
+            "\nsolution space: not recoverable on the {} channel",
+            args.channel
+        ),
+    }
 }

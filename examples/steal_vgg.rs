@@ -12,8 +12,15 @@
 //! cargo run --release --example steal_vgg -- -o obs.json    # telemetry export
 //! cargo run --release --example steal_vgg -- -p 2:4         # N:M sparse victim
 //! cargo run --release --example steal_vgg -- -p structured  # channel-removed victim
+//! cargo run --release --example steal_vgg -- -c gemm        # Cache-Telepathy channel
 //! cargo run --release --example steal_vgg -- --help         # all options
 //! ```
+//!
+//! `-c` restricts what the attacker observes: `full` (the paper's trace +
+//! timing channel), `trace` (volumes only, no timestamps), `timing`
+//! (encode windows only), or `gemm` (GEMM call dimensions, the
+//! Cache-Telepathy threat model — requires `-b gemm`). Restricted channels
+//! recover less: the report says which stages degraded.
 //!
 //! `-p` selects how the victim was pruned: `unstructured` (the paper's
 //! magnitude profile), `N:M` fine-grained sparsity, or `structured[:FRAC]`
@@ -68,15 +75,18 @@ fn main() {
         .build()
         .expect("valid attack config");
     println!(
-        "prober workers: {} ({} probe inferences fan out per family), conv backend: {}",
+        "prober workers: {} ({} probe inferences fan out per family), conv backend: {}, \
+         observation channel: {}",
         cfg.prober.effective_parallelism(cfg.prober.shifts),
         cfg.prober.shifts,
-        backend
+        backend,
+        args.channel
     );
 
     cli::obs_begin(&args);
     let t0 = std::time::Instant::now();
-    let outcome = huffduff_core::run(&device, &cfg).expect("attack runs");
+    let model = args.channel.model(&device);
+    let outcome = huffduff_core::run(model.as_ref(), &cfg).expect("attack runs");
     println!("attack completed in {:.1}s", t0.elapsed().as_secs_f64());
     cli::obs_finish(&args);
     println!("{}", outcome.report());
@@ -94,12 +104,20 @@ fn main() {
     }
 
     let true_k1 = expected_conv_channels(&net)[0];
-    println!(
-        "true K1 = {true_k1}; recovered range covers it: {}",
-        outcome.space.k1_candidates.contains(&true_k1)
-    );
-    println!(
-        "solution space: {} candidates (paper: 66 for VGG-S)",
-        outcome.space.count()
-    );
+    match &outcome.space {
+        Some(space) => {
+            println!(
+                "true K1 = {true_k1}; recovered range covers it: {}",
+                space.k1_candidates.contains(&true_k1)
+            );
+            println!(
+                "solution space: {} candidates (paper: 66 for VGG-S)",
+                space.count()
+            );
+        }
+        None => println!(
+            "solution space: not recoverable on the {} channel",
+            args.channel
+        ),
+    }
 }

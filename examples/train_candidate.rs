@@ -63,14 +63,12 @@ fn main() {
         ..Default::default()
     };
     let outcome = huffduff_core::run(&device, &attack_cfg).expect("attack succeeds");
-    println!(
-        "attack found {} candidate architectures",
-        outcome.space.count()
-    );
+    let space = outcome.space.as_ref().expect("full channel finalizes");
+    println!("attack found {} candidate architectures", space.count());
 
     // …then retrains one candidate on their *own* data at iso footprint.
-    let arch = &outcome.space.sample(1, 9)[0];
-    let candidate = outcome.space.build_network(arch);
+    let arch = &space.sample(1, 9)[0];
+    let candidate = space.build_network(arch);
     let mut cand_params = hd_dnn::graph::Params::init(&candidate, 99);
     normalize_init(&candidate, &mut cand_params, &calib);
     train(&candidate, &mut cand_params, &train_set, &cfg, None);

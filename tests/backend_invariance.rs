@@ -110,7 +110,8 @@ fn attack_outcome_is_backend_and_parallelism_invariant() {
             "channel ratios diverged for {backend} with parallelism {par:?}"
         );
         assert_eq!(
-            baseline.space.k1_candidates, got.space.k1_candidates,
+            baseline.space.as_ref().map(|s| &s.k1_candidates),
+            got.space.as_ref().map(|s| &s.k1_candidates),
             "candidate space diverged for {backend} with parallelism {par:?}"
         );
         assert_eq!(
@@ -120,7 +121,7 @@ fn attack_outcome_is_backend_and_parallelism_invariant() {
         );
     }
     // The recovered space must still contain the true first-layer width.
-    assert!(baseline.space.k1_candidates.contains(&8));
+    assert!(baseline.space.as_ref().unwrap().k1_candidates.contains(&8));
 }
 
 fn structured_attack(backend: ConvBackend, parallelism: Option<usize>) -> AttackOutcome {
@@ -168,7 +169,8 @@ fn structured_victim_attack_is_backend_and_parallelism_invariant() {
             "channel ratios diverged for {backend} with parallelism {par:?}"
         );
         assert_eq!(
-            baseline.space.k1_candidates, got.space.k1_candidates,
+            baseline.space.as_ref().map(|s| &s.k1_candidates),
+            got.space.as_ref().map(|s| &s.k1_candidates),
             "candidate space diverged for {backend} with parallelism {par:?}"
         );
         assert_eq!(
@@ -179,8 +181,13 @@ fn structured_victim_attack_is_backend_and_parallelism_invariant() {
     }
     // The attack tracks the *pruned* channel count, not the textbook 8.
     assert!(
-        baseline.space.k1_candidates.contains(&stem_channels),
+        baseline
+            .space
+            .as_ref()
+            .unwrap()
+            .k1_candidates
+            .contains(&stem_channels),
         "candidates {:?} miss the pruned stem width {stem_channels}",
-        baseline.space.k1_candidates
+        baseline.space.as_ref().unwrap().k1_candidates
     );
 }

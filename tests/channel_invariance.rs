@@ -1,0 +1,185 @@
+//! Channel invariance: the [`FullChannel`] wrapper is bit-identical to
+//! probing the raw `Device` — same `AttackOutcome`, byte for byte — across
+//! conv backends and prober parallelism, and the restricted channels
+//! observe *exact projections* of the full channel's evidence (never
+//! independently-measured, possibly-diverging views).
+//!
+//! The first property is what makes the ObservationModel boundary safe to
+//! introduce: every pre-existing result (golden fixtures included) is
+//! reproduced through the new API without regeneration. The second is what
+//! makes the channel × defence matrix meaningful: a restricted channel's
+//! degradation measures lost *information*, not a different simulator.
+
+use hd_tensor::ConvBackend;
+use huffduff::prelude::*;
+use huffduff_core::{
+    AttackConfig, AttackOutcome, ChannelKind, FullChannel, ObservationModel, TimingOnly, TraceOnly,
+};
+use proptest::prelude::*;
+
+fn victim() -> (hd_dnn::graph::Network, hd_dnn::graph::Params) {
+    let mut b = hd_dnn::graph::NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    let x = b.conv(x, 8, 5, 1);
+    let x = b.max_pool(x, 2);
+    let x = b.conv(x, 16, 3, 1);
+    let x = b.global_avg_pool(x);
+    b.linear(x, 10);
+    let net = b.build();
+    let mut params = hd_dnn::graph::Params::init(&net, 7);
+    let profile = hd_dnn::prune::SparsityProfile {
+        targets: net
+            .weighted_nodes()
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, if pos == 0 { 0.45 } else { 0.7 }))
+            .collect(),
+    };
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 7 ^ 0xF00D);
+    (net, params)
+}
+
+fn attack_cfg(parallelism: Option<usize>) -> AttackConfig {
+    AttackConfig {
+        prober: huffduff_core::prober::ProberConfig {
+            shifts: 12,
+            max_probes: 8,
+            stable_probes: 2,
+            ..Default::default()
+        }
+        .with_parallelism(parallelism),
+        classes: 10,
+        max_k: 256,
+        ..Default::default()
+    }
+}
+
+fn device(backend: ConvBackend) -> Device {
+    let (net, params) = victim();
+    Device::new(
+        net,
+        params,
+        AccelConfig::eyeriss_v2().with_conv_backend(backend),
+    )
+}
+
+fn attack(target: &dyn ObservationModel, parallelism: Option<usize>) -> AttackOutcome {
+    huffduff_core::run(target, &attack_cfg(parallelism)).expect("attack succeeds")
+}
+
+#[test]
+fn full_channel_is_bit_identical_to_the_raw_device() {
+    for (backend, par) in [
+        (ConvBackend::Direct, Some(1)),
+        (ConvBackend::Direct, Some(4)),
+        (ConvBackend::Im2colGemm, Some(1)),
+        (ConvBackend::Im2colGemm, Some(4)),
+        (ConvBackend::Im2colGemm, None),
+        (ConvBackend::SparseCsc, Some(2)),
+    ] {
+        let dev = device(backend);
+        let raw = attack(&dev, par);
+        let wrapped = attack(&FullChannel::new(&dev), par);
+        assert_eq!(
+            raw, wrapped,
+            "FullChannel diverged from the raw device on {backend} with parallelism {par:?}"
+        );
+        // The boxed runtime-selected form must be the same model too.
+        let boxed = ChannelKind::Full.model(&dev);
+        assert_eq!(
+            raw,
+            attack(boxed.as_ref(), par),
+            "ChannelKind::Full boxed model diverged on {backend} with parallelism {par:?}"
+        );
+    }
+}
+
+#[test]
+fn full_channel_attack_is_backend_invariant() {
+    // The attack outcome through the wrapper keeps the invariance the raw
+    // device already guarantees (tests/backend_invariance.rs).
+    let baseline = attack(&FullChannel::new(&device(ConvBackend::Direct)), Some(1));
+    for backend in [ConvBackend::Im2colGemm, ConvBackend::SparseCsc] {
+        let got = attack(&FullChannel::new(&device(backend)), Some(1));
+        assert_eq!(baseline, got, "FullChannel outcome diverged on {backend}");
+    }
+    let space = baseline.space.as_ref().expect("full channel finalizes");
+    assert!(space.k1_candidates.contains(&8));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The restricted wrappers are *projections*: every field they report
+    /// equals the corresponding field of the full channel's observation of
+    /// the same image, and every field they hide is uniformly absent —
+    /// across randomly drawn victims and probe images.
+    #[test]
+    fn restricted_channels_observe_exact_projections(
+        seed in 0u64..1_000,
+        k1 in 2usize..6,
+        kernel in prop_oneof![Just(1usize), Just(3usize)],
+        fill in 0.1f32..0.9,
+    ) {
+        let mut b = hd_dnn::graph::NetworkBuilder::new(3, 10, 10);
+        let x = b.input();
+        let x = b.conv(x, k1, kernel, 1);
+        b.conv(x, k1 + 2, 3, 1);
+        let net = b.build();
+        let params = hd_dnn::graph::Params::init(&net, seed);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let image = Tensor3::full(3, 10, 10, fill);
+
+        let full = FullChannel::new(&dev).observe(&image).unwrap();
+        let trace = TraceOnly::new(&dev).observe(&image).unwrap();
+        let timing = TimingOnly::new(&dev).observe(&image).unwrap();
+
+        // Wrapper output is literally the projection of the full evidence.
+        prop_assert_eq!(&trace, &full.project(ChannelKind::Trace));
+        prop_assert_eq!(&timing, &full.project(ChannelKind::Timing));
+
+        prop_assert_eq!(trace.layers.len(), full.layers.len());
+        prop_assert_eq!(timing.layers.len(), full.layers.len());
+        for (i, fl) in full.layers.iter().enumerate() {
+            let tr = &trace.layers[i];
+            let ti = &timing.layers[i];
+            // Trace-only keeps volumes and dataflow, hides time.
+            prop_assert_eq!(tr.output_bytes, fl.output_bytes);
+            prop_assert_eq!(tr.weight_bytes, fl.weight_bytes);
+            prop_assert_eq!(tr.input_bytes, fl.input_bytes);
+            prop_assert_eq!(&tr.inputs, &fl.inputs);
+            prop_assert_eq!(tr.encode_window_ps, None);
+            // Timing-only keeps time, hides volumes.
+            prop_assert_eq!(ti.encode_window_ps, fl.encode_window_ps);
+            prop_assert_eq!(ti.output_bytes, None);
+            prop_assert_eq!(ti.weight_bytes, None);
+            prop_assert_eq!(ti.input_bytes, None);
+        }
+        // Neither restricted channel leaks raw timestamps via structure.
+        prop_assert!(timing.structure.is_none());
+        if let Some(s) = &trace.structure {
+            prop_assert!(s
+                .tensors
+                .iter()
+                .all(|t| t.first_write_ps == 0 && t.last_write_ps == 0));
+        }
+    }
+
+    /// Projection is idempotent: projecting an already-projected
+    /// observation changes nothing.
+    #[test]
+    fn projection_is_idempotent(seed in 0u64..1_000) {
+        let mut b = hd_dnn::graph::NetworkBuilder::new(3, 8, 8);
+        let x = b.input();
+        b.conv(x, 4, 3, 1);
+        let net = b.build();
+        let params = hd_dnn::graph::Params::init(&net, seed);
+        let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+        let image = Tensor3::full(3, 8, 8, 0.5);
+        let full = FullChannel::new(&dev).observe(&image).unwrap();
+        for kind in [ChannelKind::Trace, ChannelKind::Timing] {
+            let once = full.project(kind);
+            prop_assert_eq!(&once.project(kind), &once);
+        }
+    }
+}

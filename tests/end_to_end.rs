@@ -55,19 +55,25 @@ fn attack_recovers_plain_cnn_end_to_end() {
     assert!(score.perfect(), "mismatches: {:?}", score.mismatches);
 
     // The true first-layer channel count is inside the finalized range.
+    let space = outcome.space.as_ref().expect("full channel finalizes");
     assert!(
-        outcome.space.k1_candidates.contains(&8),
+        space.k1_candidates.contains(&8),
         "k1 range {:?}",
-        outcome.space.k1_candidates
+        space.k1_candidates
     );
 
     // Timing channel sees the 16/8 ratio.
-    let r = outcome.ratios.ratios[1].1;
+    let r = outcome
+        .ratios
+        .as_ref()
+        .expect("full channel has timing")
+        .ratios[1]
+        .1;
     assert!((r - 2.0).abs() < 0.3, "ratio {r}");
 
     // Every candidate rebuilds into a runnable network with 10 logits.
-    for arch in outcome.space.sample(3, 1) {
-        let cand = outcome.space.build_network(&arch);
+    for arch in space.sample(3, 1) {
+        let cand = space.build_network(&arch);
         let p = hd_dnn::graph::Params::init(&cand, 5);
         let out = cand.forward(&p, &Tensor3::full(3, 16, 16, 0.4));
         assert_eq!(out.logits().len(), 10);
@@ -119,15 +125,15 @@ fn attack_recovers_residual_victim() {
 
 #[test]
 fn information_boundary_attack_uses_only_the_trace() {
-    // The attack consumes a Device only through the ProbeTarget trait; a
-    // trait object proves no oracle access sneaks in.
+    // The attack consumes a Device only through the ObservationModel
+    // trait; a trait object proves no oracle access sneaks in.
     let mut b = hd_dnn::graph::NetworkBuilder::new(3, 12, 12);
     let x = b.input();
     b.conv(x, 6, 3, 1);
     let net = b.build();
     let params = pruned_params(&net, 3, 0.45, 0.7);
     let device = Device::new(net, params, AccelConfig::eyeriss_v2());
-    let target: &dyn huffduff_core::ProbeTarget = &device;
+    let target: &dyn huffduff_core::ObservationModel = &device;
 
     let cfg = huffduff_core::ProberConfig {
         shifts: 10,
@@ -269,8 +275,9 @@ fn candidates_rebuild_residual_victims() {
         ..Default::default()
     };
     let outcome = huffduff_core::run(&device, &cfg).expect("attack completes");
-    for arch in outcome.space.sample(3, 2) {
-        let cand = outcome.space.build_network(&arch);
+    let space = outcome.space.as_ref().expect("full channel finalizes");
+    for arch in space.sample(3, 2) {
+        let cand = space.build_network(&arch);
         // The rebuilt graph contains a residual join and runs end to end.
         let has_add = cand
             .nodes()
