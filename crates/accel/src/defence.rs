@@ -91,6 +91,7 @@ pub struct NoiseState {
 impl Clone for NoiseState {
     fn clone(&self) -> Self {
         NoiseState {
+            // hd-lint: allow(atomic-ordering) -- clone snapshots a single word; the RNG state carries no cross-thread happens-before obligations
             state: AtomicU64::new(self.state.load(Ordering::Relaxed)),
         }
     }
@@ -125,6 +126,7 @@ impl NoiseState {
     pub fn next_padding(&self, max: u64) -> u64 {
         let x = self
             .state
+            // hd-lint: allow(atomic-ordering) -- the xorshift step only needs atomicity; per-run reseeding (see for_run) makes draw order irrelevant to results
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut x| {
                 x ^= x << 13;
                 x ^= x >> 7;

@@ -130,6 +130,7 @@ pub fn mim(
     let mut momentum = vec![0.0f32; image.data().len()];
     for _ in 0..cfg.steps {
         let grad = input_gradient(net, params, &adv, target);
+        // hd-lint: allow(float-reduction-order) -- accumulates over the gradient slice in its storage order, which is deterministic per input
         let l1: f32 = grad.data().iter().map(|v| v.abs()).sum::<f32>().max(1e-12);
         for (m, g) in momentum.iter_mut().zip(grad.data()) {
             *m = decay * *m + g / l1;

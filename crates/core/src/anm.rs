@@ -83,8 +83,9 @@ pub fn decode(rows: &[Vec<Sym>]) -> Option<Anm> {
     }
     // Background: the most frequent value in the first row. The extreme
     // columns can carry right-edge constants (the mirror of the `m`
-    // prefix), so the mode is the robust estimate of `b`.
-    let mut counts: std::collections::HashMap<Sym, usize> = std::collections::HashMap::new();
+    // prefix), so the mode is the robust estimate of `b`. BTreeMap keeps
+    // the tie-break (equal counts) deterministic across processes.
+    let mut counts: std::collections::BTreeMap<Sym, usize> = std::collections::BTreeMap::new();
     for &v in &rows[0] {
         *counts.entry(v).or_insert(0) += 1;
     }

@@ -28,7 +28,7 @@
 //! projections of the full one (see [`Observation::project`]) — the
 //! property the channel-invariance suite asserts.
 
-use hd_accel::{Device, DeviceError, Trace, TraceSink};
+use hd_accel::{Device, DeviceError};
 use hd_tensor::{GemmShape, Shape3, Tensor3};
 use hd_trace::{LayerObs, StreamingAnalyzer, TensorId, TensorObs, TraceAnalysis};
 use std::fmt;
@@ -469,51 +469,10 @@ impl ObservationModel for GemmDims<'_> {
     }
 }
 
-/// The pre-redesign attacker boundary: trace in, trace out.
-///
-/// Kept for one release as a migration shim: any legacy target still
-/// implementing it observes through the blanket `impl` below (buffered
-/// trace → analysis → full-channel [`Observation`]). New code implements
-/// [`ObservationModel`] directly.
-#[deprecated(
-    since = "0.7.0",
-    note = "implement ObservationModel instead; ProbeTarget is a one-release migration shim"
-)]
-pub trait ProbeTarget: Sync {
-    /// The (publicly known) input shape.
-    fn input_shape(&self) -> Shape3;
-    /// Runs one inference, returning the observed bus trace.
-    fn run_probe(&self, image: &Tensor3) -> Trace;
-    /// Runs one inference, streaming bus events into `sink` as they occur.
-    /// The default replays the buffered [`ProbeTarget::run_probe`].
-    fn probe_into(&self, image: &Tensor3, sink: &mut dyn TraceSink) {
-        for e in self.run_probe(image).events {
-            sink.event(e);
-        }
-    }
-}
-
-/// Migration bridge: every legacy [`ProbeTarget`] is a full-channel
-/// [`ObservationModel`]. (Coherence is safe: no workspace type implements
-/// both traits, and downstream crates can implement neither for foreign
-/// types.)
-#[allow(deprecated)]
-impl<T: ProbeTarget> ObservationModel for T {
-    fn input_shape(&self) -> Shape3 {
-        ProbeTarget::input_shape(self)
-    }
-
-    fn observe(&self, image: &Tensor3) -> Result<Observation, ObserveError> {
-        let mut sink = StreamingAnalyzer::new();
-        self.probe_into(image, &mut sink);
-        Ok(Observation::from_trace(sink.finish()?))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hd_accel::AccelConfig;
+    use hd_accel::{AccelConfig, Trace, TraceSink};
     use hd_dnn::graph::{NetworkBuilder, Params};
     use hd_tensor::ConvBackend;
 
@@ -638,29 +597,32 @@ mod tests {
         );
     }
 
-    /// A legacy target still implementing the deprecated trait: the blanket
-    /// impl must carry it across the redesign unchanged.
-    struct LegacyTarget {
+    /// A target implementing [`ObservationModel`] directly over a buffered
+    /// trace must observe identically to the device's own channel.
+    struct BufferedTarget {
         dev: Device,
     }
 
-    #[allow(deprecated)]
-    impl ProbeTarget for LegacyTarget {
+    impl ObservationModel for BufferedTarget {
         fn input_shape(&self) -> Shape3 {
             self.dev.input_shape()
         }
 
-        fn run_probe(&self, image: &Tensor3) -> Trace {
-            self.dev.run(image)
+        fn observe(&self, image: &Tensor3) -> Result<Observation, ObserveError> {
+            let mut sink = StreamingAnalyzer::new();
+            for e in self.dev.run(image).events {
+                sink.event(e);
+            }
+            Ok(Observation::from_trace(sink.finish()?))
         }
     }
 
     #[test]
-    fn legacy_probe_targets_observe_through_the_blanket_impl() {
-        let legacy = LegacyTarget { dev: device() };
-        let img = image(&legacy.dev);
-        let via_shim = legacy.observe(&img).unwrap();
-        let direct = legacy.dev.observe(&img).unwrap();
-        assert_eq!(via_shim, direct, "shim must be the full channel");
+    fn buffered_targets_observe_like_the_direct_channel() {
+        let target = BufferedTarget { dev: device() };
+        let img = image(&target.dev);
+        let buffered = target.observe(&img).unwrap();
+        let direct = target.dev.observe(&img).unwrap();
+        assert_eq!(buffered, direct, "replay must be the full channel");
     }
 }

@@ -71,8 +71,6 @@ pub use channel::{
     TimingOnly, TraceOnly,
 };
 pub use pattern::Pattern;
-#[allow(deprecated)]
-pub use prober::ProbeTarget; // hd-lint: allow(no-deprecated) -- crate-root re-export of the migration shim
 pub use prober::{
     probe as run_prober, ConfigError, LayerKind, ProberConfig, ProberConfigBuilder, ProberResult,
 };

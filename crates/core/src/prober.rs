@@ -27,11 +27,6 @@ use hd_trace::{TensorId, TraceAnalysis};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-// The pre-redesign attacker boundary stays importable from its old path
-// for one release; see `crate::channel` for the shim and its blanket impl.
-#[allow(deprecated)]
-pub use crate::channel::ProbeTarget; // hd-lint: allow(no-deprecated) -- re-export keeps the migration shim at its old path
-
 /// Recovered geometry class of one observed layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LayerKind {
@@ -1192,7 +1187,7 @@ fn pick_pool(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hd_accel::{AccelConfig, Device, Trace};
+    use hd_accel::{AccelConfig, Device, Trace, TraceSink};
     use hd_dnn::graph::{NetworkBuilder, Params};
     use hd_tensor::Shape3;
 
@@ -1400,10 +1395,6 @@ mod tests {
     /// Fails (empty trace → `NoWrites`) for every image whose index — read
     /// back out of the stripe the probe generator painted — is at least
     /// `fail_from`, and counts how many probes actually execute.
-    ///
-    /// Deliberately still implements the deprecated [`ProbeTarget`]: it
-    /// doubles as the migration-shim regression (legacy targets must keep
-    /// working through the blanket [`ObservationModel`] impl).
     struct FailingTarget {
         shape: Shape3,
         fail_from: usize,
@@ -1419,25 +1410,29 @@ mod tests {
         }
     }
 
-    #[allow(deprecated)]
-    impl ProbeTarget for FailingTarget {
+    impl ObservationModel for FailingTarget {
         fn input_shape(&self) -> Shape3 {
             self.shape
         }
 
-        fn run_probe(&self, image: &Tensor3) -> Trace {
+        fn observe(&self, image: &Tensor3) -> Result<Observation, ObserveError> {
             self.runs.fetch_add(1, Ordering::SeqCst);
-            if self.image_index(image) >= self.fail_from {
-                return Trace::default();
+            let mut trace = Trace::default();
+            if self.image_index(image) < self.fail_from {
+                trace.events.push(hd_accel::TraceEvent {
+                    time_ps: 0,
+                    addr: 0x1000,
+                    kind: hd_accel::AccessKind::Write,
+                    bytes: 64,
+                });
             }
-            let mut t = Trace::default();
-            t.events.push(hd_accel::TraceEvent {
-                time_ps: 0,
-                addr: 0x1000,
-                kind: hd_accel::AccessKind::Write,
-                bytes: 64,
-            });
-            t
+            // Stream the trace exactly like the real channel: the empty
+            // trace surfaces as the analyzer's `NoWrites` error.
+            let mut sink = hd_trace::StreamingAnalyzer::new();
+            for e in trace.events {
+                sink.event(e);
+            }
+            Ok(Observation::from_trace(sink.finish()?))
         }
     }
 

@@ -176,6 +176,7 @@ pub fn plan_channels(net: &Network, params: &Params, cfg: &StructuredCfg) -> Cha
                     let filter = w.c() * w.r() * w.s();
                     for (score, taps) in scores[root].iter_mut().zip(w.data().chunks_exact(filter))
                     {
+                        // hd-lint: allow(float-reduction-order) -- summed in slice order (left-to-right), and widened to f64 so the tap order cannot flip a ranking
                         let l1: f64 = taps.iter().map(|v| f64::from(v.abs())).sum();
                         *score += l1;
                     }
@@ -187,6 +188,7 @@ pub fn plan_channels(net: &Network, params: &Params, cfg: &StructuredCfg) -> Cha
                     let filter = w.c() * w.r() * w.s();
                     for (score, taps) in scores[root].iter_mut().zip(w.data().chunks_exact(filter))
                     {
+                        // hd-lint: allow(float-reduction-order) -- summed in slice order (left-to-right), and widened to f64 so the tap order cannot flip a ranking
                         let l1: f64 = taps.iter().map(|v| f64::from(v.abs())).sum();
                         *score += l1;
                     }

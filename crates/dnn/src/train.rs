@@ -233,6 +233,7 @@ pub fn backward(
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+    // hd-lint: allow(float-reduction-order) -- slice iteration is left-to-right by the language, so this accumulation order is already fixed
     let sum: f32 = exps.iter().sum();
     exps.iter().map(|e| e / sum).collect()
 }

@@ -24,7 +24,8 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One token with its source position (1-indexed line and column).
+/// One token with its source position (1-indexed line and column) and its
+/// byte span in the original source.
 #[derive(Clone, Debug)]
 pub struct Token {
     /// What kind of token.
@@ -35,6 +36,11 @@ pub struct Token {
     pub line: u32,
     /// 1-indexed source column (byte offset within the line).
     pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte (so `src[start..end]`
+    /// is the token's exact source text, literals included).
+    pub end: usize,
 }
 
 /// One comment (line `//...` or block `/* ... */`) with its start line.
@@ -111,6 +117,7 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     while let Some(b) = cur.peek(0) {
         let (line, col) = (cur.line, cur.col);
+        let tok_start = cur.pos;
         match b {
             b if b.is_ascii_whitespace() => {
                 cur.bump();
@@ -165,6 +172,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: String::new(),
                     line,
                     col,
+                    start: tok_start,
+                    end: cur.pos,
                 });
             }
             b'"' => {
@@ -174,6 +183,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: String::new(),
                     line,
                     col,
+                    start: tok_start,
+                    end: cur.pos,
                 });
             }
             b'\'' => {
@@ -183,6 +194,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: String::new(),
                     line,
                     col,
+                    start: tok_start,
+                    end: cur.pos,
                 });
             }
             b if is_ident_start(b) => {
@@ -192,6 +205,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: text_of(src, start, end).to_string(),
                     line,
                     col,
+                    start,
+                    end,
                 });
             }
             b if b.is_ascii_digit() => {
@@ -218,6 +233,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: text_of(src, start, end).to_string(),
                     line,
                     col,
+                    start,
+                    end,
                 });
             }
             other => {
@@ -227,6 +244,8 @@ pub fn lex(src: &str) -> Lexed {
                     text: (other as char).to_string(),
                     line,
                     col,
+                    start: tok_start,
+                    end: cur.pos,
                 });
             }
         }

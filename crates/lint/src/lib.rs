@@ -1,6 +1,6 @@
 //! `hd-lint`: self-contained static analysis for the HuffDuff workspace.
 //!
-//! Two halves:
+//! Three layers:
 //!
 //! * **Source lints** ([`rules`]) — a hand-rolled Rust lexer ([`lexer`])
 //!   plus a token-sequence rule engine enforcing the project invariants
@@ -8,28 +8,43 @@
 //!   no bare `thread::spawn`, no lossy `as`-casts in byte accounting, no
 //!   uses of deprecated items), with `// hd-lint: allow(rule) -- reason`
 //!   suppressions reported exhaustively.
+//! * **Semantic analysis** ([`parser`], [`symbols`], [`callgraph`],
+//!   [`semantic`]) — a forgiving item parser over the same lexer feeds a
+//!   workspace symbol index and intra-crate call graph, powering the
+//!   concurrency/determinism rule pack (`atomic-ordering`,
+//!   `lock-discipline`, `unordered-iter`, `float-reduction-order`).
 //! * **Semantic verifier** — `hd_dnn::verify`, re-driven by the binary's
 //!   `--models` mode over the model zoo × accelerator presets.
 //!
 //! The crate is intentionally dependency-free on the lint path so it can
 //! lint the workspace that builds it.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 
-use rules::{collect_deprecated, lint_source, Allow, DeprecatedIndex, Violation};
+use rules::{collect_deprecated, lint_unit, Allow, DeprecatedIndex, Violation};
+use semantic::Workspace;
+use symbols::FileUnit;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// JSON schema identifier emitted by [`Report::to_json`].
-pub const JSON_SCHEMA: &str = "hd-lint/v1";
+pub const JSON_SCHEMA: &str = "hd-lint/v2";
 
 /// Aggregated lint result over a set of files.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// All violations, ordered by (file, line, col).
+    /// Named items the workspace symbol index recovered.
+    pub symbols: usize,
+    /// Same-crate call edges the call graph resolved.
+    pub call_edges: usize,
+    /// All violations, ordered by (file, line, rule, col).
     pub violations: Vec<Violation>,
     /// All accepted suppressions, ordered by (file, line).
     pub allows: Vec<Allow>,
@@ -63,15 +78,19 @@ impl Report {
         out
     }
 
-    /// Stable-schema JSON (`hd-lint/v1`), parseable by `hd_obs::json`.
+    /// Stable-schema JSON (`hd-lint/v2`), parseable by `hd_obs::json`.
+    /// Byte-stable for a given tree: inputs are sorted and the violation
+    /// order is pinned to (file, line, rule, col).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {},", json_str(JSON_SCHEMA));
         let _ = writeln!(
             out,
-            "  \"summary\": {{\"files_scanned\": {}, \"violations\": {}, \"allows\": {}}},",
+            "  \"summary\": {{\"files_scanned\": {}, \"symbols\": {}, \"call_edges\": {}, \"violations\": {}, \"allows\": {}}},",
             self.files_scanned,
+            self.symbols,
+            self.call_edges,
             self.violations.len(),
             self.allows.len()
         );
@@ -194,28 +213,51 @@ pub fn lint_paths(root: &Path, rels: &[PathBuf]) -> std::io::Result<Report> {
     Ok(lint_sources(&sources))
 }
 
-/// Core two-pass driver over in-memory `(rel_path, source)` pairs: pass 1
-/// indexes `#[deprecated]` declarations, pass 2 runs the rule engine.
+/// Builds just the workspace symbol index for the scan set rooted at
+/// `root` (the binary's `--symbols` mode).
+pub fn symbol_index(root: &Path) -> std::io::Result<symbols::SymbolIndex> {
+    let files = scan_set(root)?;
+    let mut units = Vec::with_capacity(files.len());
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        units.push(FileUnit::analyze(&rel_str(rel), &src));
+    }
+    Ok(symbols::SymbolIndex::build(&units))
+}
+
+/// Core driver over in-memory `(rel_path, source)` pairs: every file is
+/// lexed and parsed once into a [`FileUnit`]; pass 1 builds the workspace
+/// analysis (deprecation index, symbol index, call graph, crate-wide lock
+/// order); pass 2 runs the token + semantic rule engine per file.
 pub fn lint_sources(sources: &[(String, String)]) -> Report {
+    let units: Vec<FileUnit> = sources
+        .iter()
+        .map(|(rel, src)| FileUnit::analyze(rel, src))
+        .collect();
+    let ws = Workspace::build(&units);
     let mut deprecated = DeprecatedIndex::default();
     for (rel, src) in sources {
         deprecated.names.extend(collect_deprecated(rel, src).names);
     }
     let mut report = Report {
         files_scanned: sources.len(),
+        symbols: ws.symbols.len(),
+        call_edges: ws.calls.len(),
         ..Report::default()
     };
-    for (rel, src) in sources {
-        let fr = lint_source(rel, src, &deprecated);
+    for unit in &units {
+        let fr = lint_unit(unit, &deprecated, &ws);
         report.violations.extend(fr.violations);
         report.allows.extend(fr.allows);
     }
+    // Pinned diagnostic order: path, then line, then rule, then column —
+    // `lint.json` must be byte-stable across runs and platforms.
     report
         .violations
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        .sort_by(|a, b| (&a.file, a.line, a.rule, a.col).cmp(&(&b.file, b.line, b.rule, b.col)));
     report
         .allows
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
     report
 }
 

@@ -4,7 +4,8 @@
 //! ```text
 //! hd-lint --workspace --deny            # lint the whole tree, exit 1 on violations
 //! hd-lint crates/dnn/src/graph.rs       # lint specific files
-//! hd-lint --workspace -o lint.json      # machine-readable report (hd-lint/v1)
+//! hd-lint --workspace -o lint.json      # machine-readable report (hd-lint/v2)
+//! hd-lint --symbols                     # dump the workspace symbol index
 //! hd-lint --models                      # verify zoo models against accelerator presets
 //! ```
 
@@ -23,8 +24,10 @@ OPTIONS:
     --deny          exit with status 1 if any violation is found
     --models        run the static model/config verifier over the model zoo
                     x accelerator presets instead of source lints
+    --symbols       print the workspace symbol index (per-crate counts plus
+                    every recovered item) instead of linting
     --allows        include the accepted-suppression allowlist in text output
-    -o <FILE>       also write the report as JSON (schema hd-lint/v1)
+    -o <FILE>       also write the report as JSON (schema hd-lint/v2)
     -h, --help      print this help
 
 PATHS are workspace-relative .rs files; the workspace root is located by
@@ -34,6 +37,7 @@ struct Cli {
     workspace: bool,
     deny: bool,
     models: bool,
+    symbols: bool,
     allows: bool,
     json_out: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -44,6 +48,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         workspace: false,
         deny: false,
         models: false,
+        symbols: false,
         allows: false,
         json_out: None,
         paths: Vec::new(),
@@ -58,6 +63,7 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             "--workspace" => cli.workspace = true,
             "--deny" => cli.deny = true,
             "--models" => cli.models = true,
+            "--symbols" => cli.symbols = true,
             "--allows" => cli.allows = true,
             "-o" | "--output" => {
                 let path = args
@@ -89,6 +95,9 @@ fn main() -> ExitCode {
 
     if cli.models {
         return verify_models();
+    }
+    if cli.symbols {
+        return dump_symbols();
     }
 
     let cwd = match std::env::current_dir() {
@@ -134,6 +143,34 @@ fn exit_for(report: &Report, deny: bool) -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `--symbols`: scan the workspace, build the symbol index, and print it.
+fn dump_symbols() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hd-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = find_workspace_root(&cwd) else {
+        eprintln!(
+            "hd-lint: no workspace root (Cargo.toml + crates/) above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+    match hd_lint::symbol_index(&root) {
+        Ok(idx) => {
+            print!("{}", hd_lint::symbols::render(&idx));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hd-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 

@@ -23,14 +23,39 @@ use std::fmt;
 
 /// All enforceable rule names (the two meta-rules `bad-allow` and
 /// `unused-allow` guard the suppression syntax itself and cannot be
-/// suppressed).
-pub const RULES: [&str; 6] = [
+/// suppressed). The last four are the semantic concurrency/determinism
+/// pack, implemented in [`crate::semantic`] on top of the item parser,
+/// symbol index, and call graph.
+pub const RULES: [&str; 10] = [
     "no-panic",
     "no-wallclock",
     "no-bare-spawn",
     "lossy-cast",
     "no-unsafe",
     "no-deprecated",
+    "atomic-ordering",
+    "lock-discipline",
+    "unordered-iter",
+    "float-reduction-order",
+];
+
+/// Crates whose outputs feed traces, observations, exports, or reductions:
+/// the `unordered-iter` enforcement surface.
+pub const UNORDERED_SURFACE: [&str; 6] = [
+    "crates/core/src/",
+    "crates/trace/src/",
+    "crates/accel/src/",
+    "crates/obs/src/",
+    "crates/dnn/src/",
+    "crates/tensor/src/",
+];
+
+/// The sanctioned float-accumulation sites: the kernels whose documented
+/// index order *is* the reference reduction order every backend must match.
+pub const FLOAT_SANCTUARIES: [&str; 3] = [
+    "crates/tensor/src/gemm",
+    "crates/tensor/src/csc_conv",
+    "crates/tensor/src/simd/",
 ];
 
 /// The one directory where `unsafe` is sanctioned: the SIMD kernels,
@@ -133,8 +158,26 @@ pub fn collect_deprecated(rel_path: &str, source: &str) -> DeprecatedIndex {
 /// rule scoping keys on; `deprecated` is the workspace-wide declaration
 /// index from [`collect_deprecated`] (pass an empty index to check a file
 /// in isolation plus its own declarations).
+///
+/// Single-file convenience wrapper over [`lint_unit`]: the semantic rules
+/// see a one-file workspace, so cross-file facts (struct fields from other
+/// files, crate-wide lock order) are limited to this file's declarations.
 pub fn lint_source(rel_path: &str, source: &str, deprecated: &DeprecatedIndex) -> FileReport {
-    let lexed = lex(source);
+    let unit = crate::symbols::FileUnit::analyze(rel_path, source);
+    let ws = crate::semantic::Workspace::build(std::slice::from_ref(&unit));
+    lint_unit(&unit, deprecated, &ws)
+}
+
+/// Lints one pre-analyzed file: the token-sequence rules, the semantic
+/// pack from `ws`, then the suppression pass over the merged findings (so
+/// `hd-lint: allow` works identically for both rule families).
+pub fn lint_unit(
+    unit: &crate::symbols::FileUnit,
+    deprecated: &DeprecatedIndex,
+    ws: &crate::semantic::Workspace,
+) -> FileReport {
+    let rel_path = unit.rel.as_str();
+    let lexed = &unit.lexed;
     let t = &lexed.tokens;
     let excluded = test_regions(t);
     let mut raw: Vec<Violation> = Vec::new();
@@ -266,6 +309,9 @@ pub fn lint_source(rel_path: &str, source: &str, deprecated: &DeprecatedIndex) -
             }
         }
     }
+
+    // --- Semantic rules (the concurrency/determinism pack). ---
+    raw.extend(ws.check_file(unit, &excluded));
 
     // --- Suppression comments. ---
     let token_lines: BTreeSet<u32> = t.iter().map(|t| t.line).collect();
@@ -412,7 +458,7 @@ fn is_int_type(s: &str) -> bool {
 }
 
 /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
-fn test_regions(t: &[Token]) -> Vec<std::ops::RangeInclusive<u32>> {
+pub(crate) fn test_regions(t: &[Token]) -> Vec<std::ops::RangeInclusive<u32>> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i + 1 < t.len() {
@@ -557,6 +603,12 @@ pub fn rule_in_scope(rule: &str, rel: &str) -> bool {
         // rule mutates into a SAFETY-comment obligation (see `lint_source`).
         "no-unsafe" => !rel.starts_with(UNSAFE_SANCTUARY),
         "no-deprecated" => true,
+        // --- the semantic concurrency/determinism pack ---
+        "atomic-ordering" | "lock-discipline" => library,
+        "unordered-iter" => library && UNORDERED_SURFACE.iter().any(|p| rel.starts_with(p)),
+        "float-reduction-order" => {
+            library && !FLOAT_SANCTUARIES.iter().any(|p| rel.starts_with(p))
+        }
         _ => false,
     }
 }

@@ -66,6 +66,22 @@ fn seeded_workspace() -> PathBuf {
                 "crates/core/src/badallow.rs",
                 "// hd-lint: allow(no-panic)\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n// hd-lint: allow(no-wallclock) -- stale suppression\npub fn g() {}\n",
             ),
+            (
+                "crates/core/src/relaxed.rs",
+                "use std::sync::atomic::{AtomicUsize, Ordering};\npub fn bump(c: &AtomicUsize) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+            ),
+            (
+                "crates/core/src/guards.rs",
+                "use std::sync::Mutex;\npub fn held(m: &Mutex<u32>, dev: &Dev) {\n    let g = m.lock().unwrap();\n    dev.observe(&[*g]);\n}\n",
+            ),
+            (
+                "crates/core/src/iters.rs",
+                "use std::collections::HashMap;\npub fn dump(m: &HashMap<u32, u32>) {\n    for (k, v) in m.iter() {\n        println!(\"{k} {v}\");\n    }\n}\n",
+            ),
+            (
+                "crates/core/src/floats.rs",
+                "pub fn total(xs: &[f32]) -> f32 {\n    xs.iter().sum::<f32>()\n}\n",
+            ),
         ],
     )
 }
@@ -92,6 +108,10 @@ fn deny_exits_nonzero_and_names_each_seeded_violation() {
         ("crates/core/src/use_dep.rs:2:", "[no-deprecated]"),
         ("crates/core/src/badallow.rs:1:", "[bad-allow]"),
         ("crates/core/src/badallow.rs:5:", "[unused-allow]"),
+        ("crates/core/src/relaxed.rs:3:", "[atomic-ordering]"),
+        ("crates/core/src/guards.rs:4:", "[lock-discipline]"),
+        ("crates/core/src/iters.rs:3:", "[unordered-iter]"),
+        ("crates/core/src/floats.rs:2:", "[float-reduction-order]"),
     ] {
         let line = stdout
             .lines()
@@ -172,13 +192,16 @@ fn json_output_is_parseable_with_stable_schema() {
     assert_eq!(out.status.code(), Some(0));
     let raw = std::fs::read_to_string(ws.join("lint.json")).expect("lint.json written");
     let v = hd_obs::json::Json::parse(&raw).expect("lint.json parses");
-    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("hd-lint/v1"));
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("hd-lint/v2"));
     let summary = v.get("summary").expect("summary");
     assert_eq!(
         summary.get("violations").and_then(|n| n.as_f64()),
         Some(1.0)
     );
     assert_eq!(summary.get("allows").and_then(|n| n.as_f64()), Some(1.0));
+    // v2 summary: the symbol index saw both fns; the call graph is present.
+    assert_eq!(summary.get("symbols").and_then(|n| n.as_f64()), Some(2.0));
+    assert!(summary.get("call_edges").and_then(|n| n.as_f64()).is_some());
     let viols = v
         .get("violations")
         .and_then(|a| a.as_array())

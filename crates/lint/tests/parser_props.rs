@@ -1,0 +1,131 @@
+//! Property tests for the forgiving item parser: on *any* input — valid
+//! Rust, token soup, or raw garbage — it must return without panicking,
+//! and every span it hands out must round-trip cleanly into the source.
+//!
+//! These pin the two contracts every downstream pass (symbol index, call
+//! graph, semantic rules) silently depends on:
+//!
+//! 1. **Totality** — `parse` is a total function of the input string.
+//! 2. **Span fidelity** — each item's byte span lies on char boundaries,
+//!    nests inside its parent's span, and slices back to source text that
+//!    contains the item's declared name.
+
+use hd_lint::parser::{parse, Item, ItemKind};
+use proptest::prelude::*;
+
+/// Rust-flavored token soup: realistic keywords, punctuation, idents, and
+/// literals glued together in random order — far denser in parser edge
+/// cases than uniformly random strings.
+fn token_soup() -> impl Strategy<Value = String> {
+    let frag = prop_oneof![
+        Just("fn".to_string()),
+        Just("struct".to_string()),
+        Just("enum".to_string()),
+        Just("impl".to_string()),
+        Just("trait".to_string()),
+        Just("mod".to_string()),
+        Just("use".to_string()),
+        Just("pub".to_string()),
+        Just("pub(crate)".to_string()),
+        Just("const".to_string()),
+        Just("static".to_string()),
+        Just("unsafe".to_string()),
+        Just("async".to_string()),
+        Just("extern".to_string()),
+        Just("for".to_string()),
+        Just("where".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just("->".to_string()),
+        Just("::".to_string()),
+        Just("#[derive(Debug)]".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("#![allow(dead_code)]".to_string()),
+        Just("\"str lit\"".to_string()),
+        Just("'c'".to_string()),
+        Just("// comment".to_string()),
+        Just("/* block */".to_string()),
+        Just("\n".to_string()),
+        (0u32..10_000).prop_map(|n| format!("id{n}")),
+        (0u32..1_000_000).prop_map(|n| n.to_string()),
+    ];
+    prop::collection::vec(frag, 0..80).prop_map(|v| v.join(" "))
+}
+
+/// Recursively checks span invariants for `it` and its children.
+fn check_spans(it: &Item, src: &str) {
+    assert!(
+        it.span.start <= it.span.end && it.span.end <= src.len(),
+        "span {:?} out of bounds (len {})",
+        it.span,
+        src.len()
+    );
+    let slice = it
+        .span
+        .slice(src)
+        .unwrap_or_else(|| panic!("span {:?} not on char boundaries", it.span));
+    if let Some(name) = &it.name {
+        // Macros resolve their name before the span's `!`; everything else
+        // declares the name inside its own span.
+        if it.kind != ItemKind::Macro {
+            assert!(
+                slice.contains(name.as_str()),
+                "item `{name}` missing from its own slice: {slice:?}"
+            );
+        }
+    }
+    for child in &it.children {
+        assert!(
+            it.span.start <= child.span.start && child.span.end <= it.span.end,
+            "child span {:?} escapes parent {:?}",
+            child.span,
+            it.span
+        );
+        check_spans(child, src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(src in any::<String>()) {
+        let parsed = parse(&src);
+        // Walking and line queries must also be total.
+        let _ = parsed.walk().len();
+        let _ = parsed.enclosing_fn(1);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(src in token_soup()) {
+        let parsed = parse(&src);
+        let _ = parsed.walk().len();
+    }
+
+    #[test]
+    fn spans_round_trip_to_source_slices(src in token_soup()) {
+        let parsed = parse(&src);
+        for it in &parsed.items {
+            check_spans(it, &src);
+        }
+    }
+
+    #[test]
+    fn top_level_spans_are_ordered_and_disjoint(src in token_soup()) {
+        let parsed = parse(&src);
+        for w in parsed.items.windows(2) {
+            prop_assert!(
+                w[0].span.end <= w[1].span.start,
+                "top-level items overlap: {:?} then {:?}",
+                w[0].span,
+                w[1].span
+            );
+        }
+    }
+}

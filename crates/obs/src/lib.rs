@@ -78,6 +78,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// other prep work that would otherwise run while disabled.
 #[inline]
 pub fn enabled() -> bool {
+    // hd-lint: allow(atomic-ordering) -- advisory gate on a monotonic flag; recorded data publishes via the registry mutexes, not this load
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -85,6 +86,7 @@ pub fn enabled() -> bool {
 ///
 /// Disabling does not clear previously recorded data; see [`reset`].
 pub fn set_enabled(on: bool) {
+    // hd-lint: allow(atomic-ordering) -- flips an advisory gate; callers needing a cut-over barrier synchronize on the registry lock
     ENABLED.store(on, Ordering::Relaxed);
 }
 

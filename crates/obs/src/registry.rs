@@ -145,6 +145,7 @@ thread_local! {
 pub(crate) fn thread_ordinal() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
+        // hd-lint: allow(atomic-ordering) -- a unique-id ticket: fetch_add's atomicity guarantees distinctness, and nothing is published through it
         static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     ORDINAL.with(|id| *id)

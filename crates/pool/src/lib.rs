@@ -43,8 +43,61 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// --- Seeded schedule perturbation (stress testing) -----------------------
+//
+// The pool's bit-identical-output contract must hold for *every*
+// interleaving, but an unperturbed test run explores only the handful of
+// schedules the host's scheduler happens to produce. The stress hook lets a
+// test inject deterministic, seed-controlled yields at the scheduling
+// decision points (claim, completion signal, steal admission) so 32 seeds
+// exercise 32 reproducibly different interleavings. Always compiled — the
+// disarmed cost is one relaxed load and a branch per site — so the tested
+// binary is the shipped binary.
+
+/// The armed stress seed; `0` means disarmed (the default).
+static STRESS_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Yield-site id: a task index was just claimed in [`Job::work`].
+const SITE_CLAIM: u64 = 1;
+/// Yield-site id: about to publish a completion via `finished`.
+const SITE_FINISH: u64 = 2;
+/// Yield-site id: a worker admitted itself to a stolen job.
+const SITE_STEAL: u64 = 3;
+
+/// Arms (non-zero) or disarms (zero) the deterministic stress yields.
+///
+/// Process-global: intended for single-campaign stress tests that set a
+/// seed, run a job, and compare against the serial schedule. The injected
+/// yields perturb timing only — they cannot change claim atomicity — so
+/// results must stay bit-identical under every seed.
+pub fn set_stress_seed(seed: u64) {
+    // hd-lint: allow(atomic-ordering) -- test-arming knob; the hook only perturbs timing, so no ordering obligation exists
+    STRESS_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// Bounded deterministic yield: mixes `(seed, site, step)` through a
+/// SplitMix64 finalizer and spins `0..=3` `yield_now`s. Disarmed, this is
+/// one relaxed load and a taken branch.
+#[inline]
+fn stress_yield(site: u64, step: u64) {
+    // hd-lint: allow(atomic-ordering) -- reads the arming knob; stale values only change which schedules get explored
+    let seed = STRESS_SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        return;
+    }
+    let mut z = seed
+        ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ step.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    for _ in 0..(z & 3) {
+        std::thread::yield_now();
+    }
+}
 
 /// Lifetime-erased pointer to a job's task closure.
 ///
@@ -86,10 +139,13 @@ impl Job {
     /// Claims and runs tasks until the job is fully claimed.
     fn work(&self) {
         loop {
+            // hd-lint: allow(atomic-ordering) -- the claim counter only needs atomicity; slot writes publish via the AcqRel `finished` increment below
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
                 return;
             }
+            stress_yield(SITE_CLAIM, i as u64);
+            // hd-lint: allow(atomic-ordering) -- advisory fast-path skip; a stale false only runs one extra task, correctness comes from the panic-slot mutex
             if !self.panicked.load(Ordering::Relaxed) {
                 // AssertUnwindSafe: on panic the caller resumes the payload
                 // without ever reading the (possibly torn) result slots.
@@ -97,6 +153,7 @@ impl Job {
                     // hd-lint: allow(no-unsafe) -- TaskPtr pointee outlives the job (see TaskPtr docs)
                     catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task.0)(i) }))
                 {
+                    // hd-lint: allow(atomic-ordering) -- advisory flag; the payload itself is published by the panic-slot mutex on the next line
                     self.panicked.store(true, Ordering::Relaxed);
                     let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
                     if slot.is_none() {
@@ -104,6 +161,7 @@ impl Job {
                     }
                 }
             }
+            stress_yield(SITE_FINISH, i as u64);
             // AcqRel chains every participant's slot writes into the final
             // increment, so the caller (synchronizing via `done`) sees them.
             if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
@@ -255,6 +313,7 @@ impl WorkerPool {
         // The caller is always a participant: a zero-thread or busy pool
         // degrades to the serial loop instead of deadlocking.
         job.work();
+        // hd-lint: allow(atomic-ordering) -- `active` only throttles admission (try_admit CAS); completion is signalled by `finished`/`done`, not this counter
         job.active.fetch_sub(1, Ordering::Relaxed);
         {
             let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
@@ -277,8 +336,15 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.work_cv.notify_all();
+        // Store under the queue lock: a worker that just saw
+        // `shutdown == false` still holds the lock until it parks on
+        // `work_cv`, so it cannot miss this wakeup. Release pairs with the
+        // Acquire load in `worker_loop`.
+        {
+            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work_cv.notify_all();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -300,17 +366,23 @@ fn erase_task<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> TaskPtr {
 fn worker_loop(shared: &Shared) {
     let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
     loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release store in `Drop` (made under this
+        // same queue lock, so the flag cannot flip between this check and
+        // the `work_cv` wait below).
+        if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         // Reap fully-claimed jobs; their remaining stragglers run to
         // completion off the Arc clones held by active participants.
+        // hd-lint: allow(atomic-ordering) -- reaping is best-effort housekeeping; a stale `next` keeps a job queued one extra round, never drops work
         q.retain(|j| j.next.load(Ordering::Relaxed) < j.n);
         let picked = q.iter().find_map(try_admit);
         match picked {
             Some(job) => {
                 drop(q);
+                stress_yield(SITE_STEAL, job.n as u64);
                 job.work();
+                // hd-lint: allow(atomic-ordering) -- admission throttle only; see the matching fetch_sub in `map`
                 job.active.fetch_sub(1, Ordering::Relaxed);
                 q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 // A slot under this job's cap may have opened for a parked
@@ -326,6 +398,7 @@ fn worker_loop(shared: &Shared) {
 
 /// Atomically reserves a participation slot under `job.cap`.
 fn try_admit(job: &Arc<Job>) -> Option<Arc<Job>> {
+    // hd-lint: allow(atomic-ordering) -- `active` is a pure admission counter: the CAS guarantees the cap, and no data is published through it
     let mut cur = job.active.load(Ordering::Relaxed);
     loop {
         if cur >= job.cap {
@@ -333,6 +406,7 @@ fn try_admit(job: &Arc<Job>) -> Option<Arc<Job>> {
         }
         match job
             .active
+            // hd-lint: allow(atomic-ordering) -- cap enforcement needs only atomicity of the CAS itself
             .compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
         {
             Ok(_) => return Some(Arc::clone(job)),

@@ -1,0 +1,118 @@
+//! Seeded-schedule stress tests for the worker pool.
+//!
+//! The pool promises bit-identical, index-ordered output for *every*
+//! interleaving, but an unperturbed run only exercises whichever schedules
+//! the host happens to produce. These tests arm [`hd_pool::set_stress_seed`]
+//! so deterministic yields at the claim/finish/steal sites force 32
+//! reproducibly different schedules, then pin three contracts against the
+//! serial reference:
+//!
+//! 1. `pool.map` output is bit-identical to the serial loop,
+//! 2. a full [`huffduff_core::prober::probe_with_pool`] campaign produces a
+//!    bit-identical `ProberResult`,
+//! 3. error reduction stays index-ordered: the caller always surfaces the
+//!    *lowest* failing index, no matter which task failed first in time.
+//!
+//! Seeds are disarmed after each test: the hook is process-global, so a
+//! leaked seed would perturb (harmlessly, but confusingly) any test that
+//! runs later in the same binary.
+
+use hd_accel::{AccelConfig, Device};
+use hd_dnn::graph::{NetworkBuilder, Params};
+use hd_pool::{set_stress_seed, WorkerPool};
+use huffduff_core::prober::{probe_with_pool, ProberConfig};
+
+const SEEDS: u64 = 32;
+
+/// Disarms the stress hook even when an assertion unwinds.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        set_stress_seed(0);
+    }
+}
+
+/// Skewed floating-point work: enough iterations that tasks genuinely
+/// overlap, skewed by index so the claim order differs from the finish
+/// order (the exact case chunk-free stealing exists for).
+fn skewed_task(i: usize) -> f64 {
+    let mut acc = i as f64;
+    let rounds = 200 + (i % 7) * 400;
+    for k in 0..rounds {
+        acc = (acc * 1.000_000_1 + k as f64).sin();
+    }
+    acc
+}
+
+#[test]
+fn map_is_bit_identical_across_32_seeded_schedules() {
+    let _guard = Disarm;
+    let n = 64;
+    let serial: Vec<f64> = (0..n).map(skewed_task).collect();
+    let pool = WorkerPool::new(4);
+    for seed in 1..=SEEDS {
+        set_stress_seed(seed);
+        let par = pool.map(n, 4, skewed_task);
+        // Bit-identical, not approximately equal: compare the raw bits.
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(serial_bits, par_bits, "seed {seed}");
+    }
+}
+
+#[test]
+fn prober_result_is_bit_identical_across_32_seeded_schedules() {
+    let _guard = Disarm;
+    let mut b = NetworkBuilder::new(3, 16, 16);
+    let x = b.input();
+    b.conv(x, 8, 3, 1);
+    let net = b.build();
+    let mut params = Params::init(&net, 5);
+    let profile = hd_dnn::prune::paper_profile(&net);
+    hd_dnn::prune::apply_sparsity_profile(&net, &mut params, &profile, 4);
+    let dev = Device::new(net, params, AccelConfig::eyeriss_v2());
+    let cfg = ProberConfig {
+        shifts: 12,
+        max_probes: 6,
+        stable_probes: 2,
+        kernels: vec![1, 3, 5],
+        strides: vec![1, 2],
+        pools: vec![2],
+        seed: 99,
+        parallelism: None,
+    };
+
+    // Reference: the single-participant (serial) schedule.
+    let serial_pool = WorkerPool::new(0);
+    let reference = probe_with_pool(&dev, &cfg, &serial_pool).expect("serial probe");
+
+    let pool = WorkerPool::new(3);
+    for seed in 1..=SEEDS {
+        set_stress_seed(seed);
+        let stressed = probe_with_pool(&dev, &cfg, &pool).expect("stressed probe");
+        assert_eq!(reference, stressed, "seed {seed}");
+    }
+}
+
+#[test]
+fn errors_reduce_in_index_order_across_32_seeded_schedules() {
+    let _guard = Disarm;
+    let n = 48;
+    let fail_from = 17;
+    let pool = WorkerPool::new(4);
+    for seed in 1..=SEEDS {
+        set_stress_seed(seed);
+        let results = pool.map(n, 4, |i| {
+            let v = skewed_task(i);
+            if i >= fail_from {
+                Err(i)
+            } else {
+                Ok(v.to_bits())
+            }
+        });
+        // Index-ordered reduction: the first error the caller sees must be
+        // the lowest failing index, regardless of completion order.
+        let first_err = results.into_iter().collect::<Result<Vec<u64>, usize>>();
+        assert_eq!(first_err.unwrap_err(), fail_from, "seed {seed}");
+    }
+}

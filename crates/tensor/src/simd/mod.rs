@@ -88,11 +88,13 @@ fn detect() -> u8 {
 
 #[inline]
 fn mode() -> u8 {
+    // hd-lint: allow(atomic-ordering) -- single-word dispatch cache; a racy re-detect recomputes the same value (detect() is pure)
     let m = MODE.load(Ordering::Relaxed);
     if m != MODE_UNINIT {
         return m;
     }
     let m = detect();
+    // hd-lint: allow(atomic-ordering) -- idempotent cache fill; both SIMD paths are bit-identical, so a stale mode is harmless
     MODE.store(m, Ordering::Relaxed);
     m
 }
@@ -112,6 +114,7 @@ pub fn set_enabled(enabled: bool) {
     } else {
         MODE_SCALAR
     };
+    // hd-lint: allow(atomic-ordering) -- mode flip needs no barrier: scalar and vector kernels are bit-identical by construction
     MODE.store(m, Ordering::Relaxed);
 }
 

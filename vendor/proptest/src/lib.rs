@@ -97,6 +97,31 @@ pub mod strategy {
         }
     }
 
+    /// Strategy adapter mapping generated values through a function
+    /// (`strategy.prop_map(f)`).
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+        type Value = W;
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_map` as an extension method on every strategy (mirrors the
+    /// real proptest's provided trait method).
+    pub trait StrategyExt: Strategy + Sized {
+        /// Maps generated values through `f`.
+        fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + Sized> StrategyExt for S {}
+
     /// Object-safe strategy view used by [`Union`] (`prop_oneof!`).
     pub trait DynStrategy<V> {
         /// Draws one value through the trait object.
@@ -172,6 +197,35 @@ pub mod arbitrary {
     impl Arbitrary for f64 {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.0.gen_range(-1.0e9_f64..1.0e9)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Bias toward printable ASCII (where most parser edge cases
+            // live) but keep the full scalar-value domain reachable.
+            if rng.0.gen_bool(0.8) {
+                rng.0.gen_range(0x20u8..0x7f) as char
+            } else {
+                char::from_u32(rng.0.gen_range(0u32..0x11_0000)).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.0.gen_range(0usize..64);
+            (0..len)
+                .map(|_| {
+                    // Sprinkle in newlines so line-based consumers get
+                    // multi-line inputs.
+                    if rng.0.gen_bool(0.05) {
+                        '\n'
+                    } else {
+                        char::arbitrary(rng)
+                    }
+                })
+                .collect()
         }
     }
 
@@ -343,7 +397,7 @@ pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, StrategyExt};
     pub use crate::ProptestConfig;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
